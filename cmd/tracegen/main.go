@@ -1,0 +1,88 @@
+// Command tracegen generates synthetic ATUM-style memory-reference
+// traces and writes them in the binary or text trace format, or prints
+// their summary statistics.
+//
+// Usage:
+//
+//	tracegen -profile edit -n 450000 -seed 11 -o edit.trc
+//	tracegen -profile compile -stats
+//	tracegen -all -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmp/internal/trace"
+	"vmp/internal/workload"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "edit", "trace profile: edit, compile, batch, multi")
+		n       = flag.Int("n", workload.DefaultTraceLen, "number of references")
+		seed    = flag.Uint64("seed", 11, "generator seed")
+		out     = flag.String("o", "", "output file (default stdout); .txt extension selects text format")
+		text    = flag.Bool("text", false, "write text format instead of binary")
+		gz      = flag.Bool("gz", false, "gzip-compress the binary output")
+		stats   = flag.Bool("stats", false, "print summary statistics instead of the trace")
+		all     = flag.Bool("all", false, "with -stats: report every standard profile")
+	)
+	flag.Parse()
+
+	if *all && *stats {
+		for _, p := range workload.Profiles() {
+			st, err := workload.Describe(p, *seed, *n)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %v\n", p, st)
+		}
+		return
+	}
+
+	p := workload.Profile(*profile)
+	if *stats {
+		st, err := workload.Describe(p, *seed, *n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(st)
+		return
+	}
+
+	refs, err := workload.Generate(p, *seed, *n)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case *text || hasSuffix(*out, ".txt"):
+		err = trace.WriteText(w, refs)
+	case *gz || hasSuffix(*out, ".gz"):
+		err = trace.WriteBinaryGzip(w, refs)
+	default:
+		err = trace.WriteBinary(w, refs)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

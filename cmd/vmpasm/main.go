@@ -1,0 +1,104 @@
+// Command vmpasm assembles, disassembles and runs programs for the
+// simulator's RISC-style processor on a VMP machine.
+//
+// Usage:
+//
+//	vmpasm prog.s                 # assemble and run on 1 processor
+//	vmpasm -procs 4 prog.s        # the same program on every board
+//	vmpasm -d prog.s              # disassemble (no execution)
+//	vmpasm -steps 100000 prog.s   # runaway guard
+//
+// The program halts with HALT; SYS 1 prints r1 to stdout. Final
+// registers and machine statistics are reported per board.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmp/internal/cache"
+	"vmp/internal/core"
+	"vmp/internal/isa"
+)
+
+func main() {
+	var (
+		procs   = flag.Int("procs", 1, "number of processor boards running the program")
+		base    = flag.Uint("base", 0x10000, "load address")
+		sp      = flag.Uint("sp", 0x7f0000, "initial stack pointer")
+		steps   = flag.Uint64("steps", 2_000_000, "max instructions per board")
+		disasm  = flag.Bool("d", false, "disassemble instead of running")
+		cacheKB = flag.Int("cache", 128, "per-board cache size in KB")
+		page    = flag.Int("page", 256, "cache page size")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vmpasm [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	m, err := core.NewMachine(core.Config{
+		Processors: *procs,
+		Cache:      cache.Geometry(*cacheKB<<10, *page, 4),
+		MemorySize: 8 << 20,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	results := make([]isa.Result, *procs)
+	errs := make([]error, *procs)
+	for i := 0; i < *procs; i++ {
+		i := i
+		cfg := isa.RunConfig{
+			Base:     uint32(*base),
+			SP:       uint32(*sp),
+			MaxSteps: *steps,
+			Syscall: func(c *core.CPU, regs *[16]uint32, n int32) {
+				if n == 1 {
+					fmt.Printf("[board %d @ %v] r1 = %d (%#x)\n", i, c.Now(), regs[1], regs[1])
+				}
+			},
+		}
+		if err := isa.Run(m, i, 1, prog, cfg, func(r isa.Result, err error) {
+			results[i], errs[i] = r, err
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	end := m.Run()
+	if v := m.CheckInvariants(); len(v) != 0 {
+		fmt.Fprintln(os.Stderr, "PROTOCOL VIOLATIONS:", v)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nsimulated %v on %d board(s); %d words of code\n", end, *procs, len(prog.Words))
+	for i := 0; i < *procs; i++ {
+		if errs[i] != nil {
+			fmt.Printf("board %d: %v\n", i, errs[i])
+			continue
+		}
+		r := results[i]
+		cs := m.Boards[i].Cache.Stats()
+		fmt.Printf("board %d: %d steps, %d hits, %d misses; r1-r4 = %d %d %d %d\n",
+			i, r.Steps, cs.Hits, cs.Misses, r.Regs[1], r.Regs[2], r.Regs[3], r.Regs[4])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmpasm:", err)
+	os.Exit(1)
+}

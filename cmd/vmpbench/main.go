@@ -1,0 +1,64 @@
+// Command vmpbench regenerates the tables and figures of the paper's
+// evaluation (Section 5) and the ablations, printing paper-vs-measured
+// tables and ASCII figures.
+//
+// Usage:
+//
+//	vmpbench                 # run everything at full fidelity
+//	vmpbench -quick          # shrunken workloads for a fast smoke run
+//	vmpbench -run fig4       # one experiment by id
+//	vmpbench -list           # list experiment ids
+//	vmpbench -csv            # also print each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vmp/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "run a single experiment by id")
+		quick = flag.Bool("quick", false, "shrink workloads for a fast run")
+		seed  = flag.Uint64("seed", 11, "workload seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		csv   = flag.Bool("csv", false, "also emit each table as CSV")
+	)
+	flag.Parse()
+
+	if *list {
+		desc := experiments.Describe()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-12s %s\n", id, desc[id])
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+
+	var results []*experiments.Result
+	var err error
+	start := time.Now()
+	if *run != "" {
+		var r *experiments.Result
+		r, err = experiments.Run(*run, opts)
+		results = append(results, r)
+	} else {
+		results, err = experiments.RunAll(opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		fmt.Println(r)
+		if *csv && r.Table != nil {
+			fmt.Println(r.Table.CSV())
+		}
+	}
+	fmt.Printf("completed %d experiment(s) in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,145 @@
+// Command vmpsim runs a configurable VMP machine on synthetic
+// ATUM-like traces or a binary trace file and reports per-board, cache
+// and bus statistics — the instrumented-prototype view of the machine.
+//
+// Usage:
+//
+//	vmpsim -procs 4 -cache 131072 -page 256 -profile edit -n 200000
+//	vmpsim -procs 2 -trace edit.trc
+//	vmpsim -procs 4 -profile compile -sharekernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmp/internal/bus"
+	"vmp/internal/cache"
+	"vmp/internal/core"
+	"vmp/internal/stats"
+	"vmp/internal/trace"
+	"vmp/internal/workload"
+)
+
+func main() {
+	var (
+		procs       = flag.Int("procs", 1, "number of processor boards")
+		cacheSize   = flag.Int("cache", 128<<10, "per-board cache size in bytes")
+		pageSize    = flag.Int("page", 256, "cache page size: 128, 256 or 512")
+		assoc       = flag.Int("assoc", 4, "cache associativity (1-4 in the prototype)")
+		memSize     = flag.Int("mem", 8<<20, "main memory size in bytes")
+		fifo        = flag.Int("fifo", 128, "bus monitor FIFO depth")
+		profile     = flag.String("profile", "edit", "synthetic trace profile per board")
+		traceFile   = flag.String("trace", "", "binary trace file replayed on every board (overrides -profile)")
+		n           = flag.Int("n", 200_000, "references per board")
+		seed        = flag.Uint64("seed", 11, "workload seed (board i uses seed+31*i)")
+		shareKernel = flag.Bool("sharekernel", false, "let all boards share kernel-region frames (contended) instead of per-board kernel slices")
+		prefault    = flag.Bool("prefault", true, "pre-fault all pages so the run measures steady-state misses")
+		hist        = flag.Bool("hist", false, "print each board's miss-latency histogram")
+	)
+	flag.Parse()
+
+	m, err := core.NewMachine(core.Config{
+		Processors: *procs,
+		Cache:      cache.Geometry(*cacheSize, *pageSize, *assoc),
+		MemorySize: *memSize,
+		FIFODepth:  *fifo,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for i := 0; i < *procs; i++ {
+		refs, err := boardTrace(*traceFile, *profile, *seed+uint64(i)*31, *n)
+		if err != nil {
+			fatal(err)
+		}
+		asid := uint8(i + 1)
+		for j := range refs {
+			refs[j].ASID = asid
+			if !*shareKernel && refs[j].VAddr >= workload.KernelCodeBase {
+				refs[j].VAddr += uint32(i) << 24
+			}
+		}
+		if *prefault {
+			if err := m.PrefaultTrace(refs); err != nil {
+				fatal(err)
+			}
+		} else if err := m.EnsureSpace(asid); err != nil {
+			fatal(err)
+		}
+		m.RunTrace(i, trace.NewSliceSource(refs))
+	}
+
+	end := m.Run()
+	if v := m.CheckInvariants(); len(v) != 0 {
+		fmt.Fprintln(os.Stderr, "PROTOCOL VIOLATIONS:")
+		for _, s := range v {
+			fmt.Fprintln(os.Stderr, " ", s)
+		}
+		os.Exit(1)
+	}
+
+	fmt.Printf("simulated %v on %d processor(s); bus utilization %.1f%%\n\n",
+		end, *procs, 100*m.Bus.Utilization())
+
+	t := stats.NewTable("Per-board results",
+		"Board", "Refs", "Miss Ratio (%)", "Performance", "WriteBacks", "Inval In", "Downgrades", "Retries", "Recoveries")
+	for i, b := range m.Boards {
+		cs := b.Cache.Stats()
+		bs := b.Stats()
+		missRatio := 100 * float64(cs.Fills) / float64(bs.Refs)
+		t.Add(i, bs.Refs, missRatio, m.Performance(i),
+			bs.WriteBacks, bs.InvalidationsIn, bs.DowngradesIn, bs.Retries, bs.Recoveries)
+	}
+	fmt.Println(t)
+
+	if *hist {
+		for i, b := range m.Boards {
+			h := b.MissLatency()
+			fmt.Printf("Board %d miss latency (µs): p50<=%.3g p95<=%.3g p100=%.3g\n%s\n",
+				i, h.Percentile(50), h.Percentile(95), h.Percentile(100), h)
+		}
+	}
+
+	bt := stats.NewTable("Bus transactions", "Type", "Count")
+	bst := m.Bus.Stats()
+	for _, op := range busOps() {
+		if c := bst.Transactions[op]; c > 0 {
+			bt.Add(op.String(), c)
+		}
+	}
+	bt.Add("aborts", bst.Aborts)
+	bt.Add("bytes moved", bst.BytesMoved)
+	fmt.Println(bt)
+}
+
+func busOps() []bus.Op {
+	return []bus.Op{
+		bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.WriteBack,
+		bus.Notify, bus.WriteActionTable, bus.PlainRead, bus.PlainWrite,
+	}
+}
+
+func boardTrace(file, profile string, seed uint64, n int) ([]trace.Ref, error) {
+	if file == "" {
+		return workload.Generate(workload.Profile(profile), seed, n)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br, err := trace.OpenBinary(f)
+	if err != nil {
+		return nil, err
+	}
+	refs := trace.Collect(br, n)
+	return refs, br.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmpsim:", err)
+	os.Exit(1)
+}

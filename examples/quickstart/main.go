@@ -1,0 +1,64 @@
+// Quickstart: build a two-processor VMP, share a page between the
+// processors through the ownership protocol, and print what happened on
+// the bus.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmp"
+)
+
+func main() {
+	// A machine with the paper's default geometry: two boards, each
+	// with a 128 KB 4-way virtually addressed cache of 256-byte pages,
+	// sharing 8 MB of main memory over one VMEbus.
+	m, err := vmp.New(vmp.Config{Processors: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.EnsureSpace(1); err != nil {
+		log.Fatal(err)
+	}
+
+	const shared = 0x1000
+
+	// Processor 0 produces a value: its write miss issues a
+	// read-private bus transaction, taking exclusive ownership of the
+	// cache page.
+	m.RunProgram(0, func(c *vmp.CPU) {
+		c.SetASID(1)
+		c.Store(shared, 42)
+		fmt.Printf("[%v] cpu0 wrote 42 (owns the page privately)\n", c.Now())
+
+		// Stay responsive: when cpu1 reads, our bus monitor interrupts
+		// us and the miss handler writes the page back and downgrades.
+		c.Idle(200 * vmp.Microsecond)
+	})
+
+	// Processor 1 consumes it: its read-shared is aborted by cpu0's bus
+	// monitor, cpu0 is interrupted and releases the page, and the retry
+	// succeeds with the written data.
+	m.RunProgram(1, func(c *vmp.CPU) {
+		c.SetASID(1)
+		c.Idle(50 * vmp.Microsecond)
+		v := c.Load(shared)
+		fmt.Printf("[%v] cpu1 read %d through the consistency protocol\n", c.Now(), v)
+	})
+
+	end := m.Run()
+
+	if v := m.CheckInvariants(); len(v) != 0 {
+		log.Fatalf("protocol violations: %v", v)
+	}
+
+	fmt.Printf("\nsimulated %v of machine time\n", end)
+	b0, b1 := m.Boards[0].Stats(), m.Boards[1].Stats()
+	fmt.Printf("cpu0: %d write-backs, %d downgrades (released its private copy)\n",
+		b0.WriteBacks, b0.DowngradesIn)
+	fmt.Printf("cpu1: %d aborted fills (retried after cpu0 released)\n", b1.Retries)
+	fmt.Printf("bus: utilization %.2f%%\n", 100*m.Bus.Utilization())
+}

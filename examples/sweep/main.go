@@ -1,0 +1,34 @@
+// Sweep: the Figure 4 methodology as a library user would run it —
+// generate an ATUM-like trace and sweep cache size × page size,
+// printing the cold-start miss-ratio grid.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmp"
+)
+
+func main() {
+	for _, profile := range vmp.TraceProfiles() {
+		refs, err := vmp.GenerateTrace(profile, 11, 450_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s (%d refs)          64KB    128KB   256KB\n", profile, len(refs))
+		for _, pageSize := range []int{128, 256, 512} {
+			fmt.Printf("  %3dB pages:           ", pageSize)
+			for _, cacheSize := range []int{64 << 10, 128 << 10, 256 << 10} {
+				mr := vmp.SimulateMissRatio(vmp.CacheGeometry(cacheSize, pageSize, 4), refs)
+				fmt.Printf("%6.3f%% ", 100*mr)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper (four VAX 8200 ATUM traces): sub-percent miss ratios at 128-256KB;")
+	fmt.Println("e.g. 0.24% at 128KB with 256-byte pages, giving 87% processor performance.")
+}

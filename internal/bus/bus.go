@@ -1,0 +1,290 @@
+// Package bus models the shared VMEbus: single-master arbitration,
+// block-transfer timing, the overlapped consistency-check and
+// action-table-update windows of Figure 2, and abort semantics.
+//
+// The bus carries the six consistency-related transaction types of the
+// VMP protocol plus plain (DMA/device) word and block transfers that bus
+// monitors ignore. Every attached bus monitor checks each
+// consistency-related transaction against its action table during the
+// check window; any monitor may abort the transaction, which terminates
+// it at the end of the current memory reference and leaves main memory
+// unmodified (write-back, the only transaction that writes main memory,
+// is never aborted in a correct execution).
+package bus
+
+import (
+	"fmt"
+
+	"vmp/internal/sim"
+)
+
+// Op is a bus transaction type.
+type Op int
+
+// Transaction types. The first six are the consistency-related
+// operations of Section 3.1; Plain transfers are issued by DMA devices
+// and by CPUs touching device registers, and are invisible to the
+// consistency machinery.
+const (
+	ReadShared       Op = iota // acquire a shared copy of a cache page
+	ReadPrivate                // acquire an exclusive copy of a cache page
+	AssertOwnership            // gain ownership without reading the page
+	WriteBack                  // write a private page back, releasing it
+	Notify                     // notification to interested processors
+	WriteActionTable           // explicit action-table update
+	PlainRead                  // DMA/device read (word or block)
+	PlainWrite                 // DMA/device write (word or block)
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case ReadShared:
+		return "read-shared"
+	case ReadPrivate:
+		return "read-private"
+	case AssertOwnership:
+		return "assert-ownership"
+	case WriteBack:
+		return "write-back"
+	case Notify:
+		return "notify"
+	case WriteActionTable:
+		return "write-action-table"
+	case PlainRead:
+		return "plain-read"
+	case PlainWrite:
+		return "plain-write"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// ConsistencyRelated reports whether bus monitors check this operation
+// against their action tables. Notify is special-cased by the monitors
+// themselves (action code 11); WriteActionTable only touches the
+// requester's own table.
+func (o Op) ConsistencyRelated() bool {
+	switch o {
+	case ReadShared, ReadPrivate, AssertOwnership, WriteBack, Notify:
+		return true
+	default:
+		return false
+	}
+}
+
+// Transfers reports whether the operation moves a block of data.
+func (o Op) Transfers() bool {
+	switch o {
+	case ReadShared, ReadPrivate, WriteBack, PlainRead, PlainWrite:
+		return true
+	default:
+		return false
+	}
+}
+
+// NoRequester marks transactions issued by DMA devices rather than a
+// processor board.
+const NoRequester = -1
+
+// Transaction is one bus operation.
+type Transaction struct {
+	Op        Op
+	PAddr     uint32 // physical address (page-aligned for page operations)
+	Bytes     int    // transfer length; 0 for non-transfer operations
+	Requester int    // issuing board ID, or NoRequester for DMA
+	// Action carries the 2-bit action-table value for WriteActionTable
+	// transactions.
+	Action uint8
+	// Downgrade marks a WriteBack that retains a shared copy: the
+	// requester's action-table entry moves to Shared (01) instead of
+	// Ignore (00), the hardware realization of Section 3.3's "downgrades
+	// the cache page to read-only and changes the action table entry to
+	// 01".
+	Downgrade bool
+}
+
+// Result reports the outcome of a transaction.
+type Result struct {
+	Aborted bool
+}
+
+// Snooper is the bus-side interface of a bus monitor.
+type Snooper interface {
+	// BoardID identifies the processor this monitor serves.
+	BoardID() int
+	// Check inspects a transaction during the consistency-check window
+	// and decides whether to abort it and whether to interrupt the
+	// local processor. It must not mutate monitor state.
+	Check(tx Transaction) (abort, interrupt bool)
+	// Post enqueues an interrupt word for the local processor.
+	Post(tx Transaction)
+	// UpdateFromOwn applies the action-table side effect of a
+	// successful transaction issued by this monitor's own processor.
+	UpdateFromOwn(tx Transaction)
+}
+
+// Timing holds the bus timing constants (Figure 2 and Section 2).
+type Timing struct {
+	ArbAddr      sim.Time // arbitration + address cycle
+	FirstWord    sim.Time // first longword of a block transfer
+	NextWord     sim.Time // subsequent longwords
+	CheckWindow  sim.Time // consistency check interval (overlapped)
+	UpdateWindow sim.Time // action table update interval (overlapped)
+}
+
+// DefaultTiming matches the prototype: 40 MB/s block transfer on the
+// VMEbus with 150 ns check and update windows.
+func DefaultTiming() Timing {
+	return Timing{
+		ArbAddr:      100 * sim.Nanosecond,
+		FirstWord:    300 * sim.Nanosecond,
+		NextWord:     100 * sim.Nanosecond,
+		CheckWindow:  150 * sim.Nanosecond,
+		UpdateWindow: 150 * sim.Nanosecond,
+	}
+}
+
+// TransferTime returns the bus occupancy of a successful transaction.
+// The check and update windows are overlapped with the transfer, so a
+// block transaction costs arbitration plus the streaming time; a
+// non-transfer transaction costs arbitration plus the two windows.
+func (t Timing) TransferTime(op Op, bytes int) sim.Time {
+	if op.Transfers() && bytes > 0 {
+		words := bytes / 4
+		if words < 1 {
+			words = 1
+		}
+		return t.ArbAddr + t.FirstWord + sim.Time(words-1)*t.NextWord
+	}
+	return t.ArbAddr + t.CheckWindow + t.UpdateWindow
+}
+
+// AbortTime returns the bus occupancy of an aborted transaction: it is
+// terminated at the end of the memory reference in flight when the
+// check window completes.
+func (t Timing) AbortTime() sim.Time {
+	return t.ArbAddr + t.FirstWord
+}
+
+// Stats counts bus activity.
+type Stats struct {
+	Transactions map[Op]uint64
+	Aborts       uint64
+	BusyTime     sim.Time
+	BytesMoved   uint64
+}
+
+// Bus is the shared VMEbus. Create with New.
+type Bus struct {
+	eng      *sim.Engine
+	timing   Timing
+	sem      *sim.Semaphore
+	snoopers []Snooper
+	stats    Stats
+	// perBoard accumulates bus occupancy per requester (DMA under
+	// NoRequester is not tracked here).
+	perBoard map[int]sim.Time
+}
+
+// New creates a bus on the given engine with default timing.
+func New(eng *sim.Engine) *Bus {
+	return &Bus{
+		eng:    eng,
+		timing: DefaultTiming(),
+		sem:    sim.NewSemaphore(1),
+		stats: Stats{
+			Transactions: make(map[Op]uint64),
+		},
+		perBoard: make(map[int]sim.Time),
+	}
+}
+
+// SetTiming overrides the timing constants (before simulation starts).
+func (b *Bus) SetTiming(t Timing) { b.timing = t }
+
+// Timing returns the timing constants.
+func (b *Bus) Timing() Timing { return b.timing }
+
+// Attach registers a bus monitor. All monitors see all transactions.
+func (b *Bus) Attach(s Snooper) { b.snoopers = append(b.snoopers, s) }
+
+// Stats returns a copy of the counters.
+func (b *Bus) Stats() Stats {
+	cp := b.stats
+	cp.Transactions = make(map[Op]uint64, len(b.stats.Transactions))
+	for k, v := range b.stats.Transactions {
+		cp.Transactions[k] = v
+	}
+	return cp
+}
+
+// BoardBusyTime returns the accumulated bus occupancy charged to a
+// board.
+func (b *Bus) BoardBusyTime(id int) sim.Time { return b.perBoard[id] }
+
+// Utilization returns total bus occupancy divided by elapsed simulated
+// time.
+func (b *Bus) Utilization() float64 {
+	if b.eng.Now() == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(b.eng.Now())
+}
+
+// Do performs one bus transaction on behalf of process p, blocking p
+// for the arbitration and transfer time. Monitors are consulted during
+// the check window; an abort terminates the transaction early. The
+// requester's own monitor action table is updated as a side effect of a
+// successful consistency-related transaction.
+func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
+	b.sem.Acquire(p)
+	defer b.sem.Release()
+
+	aborted := false
+	if tx.Op.ConsistencyRelated() {
+		// Check window: gather every monitor's decision first (the
+		// hardware monitors decide in parallel from table state at the
+		// start of the window), then apply effects.
+		type decision struct {
+			s         Snooper
+			interrupt bool
+		}
+		var interrupts []decision
+		for _, s := range b.snoopers {
+			abort, intr := s.Check(tx)
+			if abort {
+				aborted = true
+			}
+			if intr {
+				interrupts = append(interrupts, decision{s, true})
+			}
+		}
+		for _, d := range interrupts {
+			d.s.Post(tx)
+		}
+	}
+
+	var busy sim.Time
+	if aborted {
+		busy = b.timing.AbortTime()
+		b.stats.Aborts++
+	} else {
+		busy = b.timing.TransferTime(tx.Op, tx.Bytes)
+		b.stats.BytesMoved += uint64(tx.Bytes)
+		if tx.Requester != NoRequester && (tx.Op.ConsistencyRelated() || tx.Op == WriteActionTable) {
+			for _, s := range b.snoopers {
+				if s.BoardID() == tx.Requester {
+					s.UpdateFromOwn(tx)
+				}
+			}
+		}
+	}
+	b.stats.Transactions[tx.Op]++
+	b.stats.BusyTime += busy
+	if tx.Requester != NoRequester {
+		b.perBoard[tx.Requester] += busy
+	}
+	p.Delay(busy)
+	return Result{Aborted: aborted}
+}

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"vmp/internal/sim"
+)
+
+// Model-based test: drive the cache with random operations and check
+// every observable against a reference model (a map of resident pages
+// plus an LRU list per row). Any divergence reports the operation
+// sequence number for reproduction.
+
+type modelEntry struct {
+	asid  uint8
+	vpage uint32
+	flags Flags
+}
+
+type refModel struct {
+	cfg Config
+	// rows[r] holds entries in LRU order (front = least recent).
+	rows [][]modelEntry
+}
+
+func newRefModel(cfg Config) *refModel {
+	return &refModel{cfg: cfg, rows: make([][]modelEntry, cfg.Rows)}
+}
+
+func (m *refModel) row(vpage uint32) int { return int(vpage) & (m.cfg.Rows - 1) }
+
+func (m *refModel) find(asid uint8, vpage uint32) int {
+	r := m.row(vpage)
+	for i, e := range m.rows[r] {
+		if e.asid == asid && e.vpage == vpage {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *refModel) touch(asid uint8, vpage uint32) {
+	r := m.row(vpage)
+	i := m.find(asid, vpage)
+	e := m.rows[r][i]
+	m.rows[r] = append(append(append([]modelEntry{}, m.rows[r][:i]...), m.rows[r][i+1:]...), e)
+}
+
+func (m *refModel) insert(asid uint8, vpage uint32, flags Flags) {
+	r := m.row(vpage)
+	if len(m.rows[r]) == m.cfg.Assoc {
+		m.rows[r] = m.rows[r][1:] // evict LRU
+	}
+	m.rows[r] = append(m.rows[r], modelEntry{asid, vpage, flags})
+}
+
+func (m *refModel) remove(asid uint8, vpage uint32) {
+	r := m.row(vpage)
+	if i := m.find(asid, vpage); i >= 0 {
+		m.rows[r] = append(m.rows[r][:i], m.rows[r][i+1:]...)
+	}
+}
+
+func TestCacheAgainstReferenceModel(t *testing.T) {
+	cfg := Config{PageSize: 256, Rows: 8, Assoc: 2}
+	c := New(cfg)
+	model := newRefModel(cfg)
+	rnd := sim.NewRand(42)
+
+	const asids = 3
+	const pages = 64 // virtual pages in play
+
+	for op := 0; op < 20000; op++ {
+		asid := uint8(rnd.Intn(asids))
+		vpage := uint32(rnd.Intn(pages))
+		vaddr := vpage*256 + uint32(rnd.Intn(64))*4
+		ctx := func() string { return fmt.Sprintf("op %d asid=%d vpage=%d", op, asid, vpage) }
+
+		switch rnd.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // lookup (read, permissive pages)
+			_, res := c.Lookup(asid, vaddr, Access{})
+			inModel := model.find(asid, vpage) >= 0
+			if (res == Hit) != inModel {
+				t.Fatalf("%s: lookup %v but model resident=%v", ctx(), res, inModel)
+			}
+			if res == Hit {
+				model.touch(asid, vpage)
+			}
+		case 6, 7: // fill after a forced miss
+			if model.find(asid, vpage) >= 0 {
+				continue
+			}
+			victim := c.SuggestVictim(vaddr)
+			st := c.SlotState(victim)
+			if st.Flags.Has(Valid) {
+				// The hardware suggestion must match the model's LRU.
+				r := model.row(vpage)
+				if len(model.rows[r]) < cfg.Assoc {
+					t.Fatalf("%s: victim valid but model row not full", ctx())
+				}
+				lru := model.rows[r][0]
+				if st.ASID != lru.asid || st.VPage != lru.vpage {
+					t.Fatalf("%s: victim <%d,%d> but model LRU <%d,%d>",
+						ctx(), st.ASID, st.VPage, lru.asid, lru.vpage)
+				}
+			}
+			c.Fill(victim, asid, vaddr, UserRead|UserWrite|SupWrite)
+			model.insert(asid, vpage, UserRead|UserWrite|SupWrite)
+		case 8: // invalidate if resident
+			if slot, ok := c.FindVirtual(asid, vaddr); ok {
+				c.Invalidate(slot)
+				model.remove(asid, vpage)
+			} else if model.find(asid, vpage) >= 0 {
+				t.Fatalf("%s: model resident, cache not", ctx())
+			}
+		case 9: // FindVirtual agreement
+			_, ok := c.FindVirtual(asid, vaddr)
+			if ok != (model.find(asid, vpage) >= 0) {
+				t.Fatalf("%s: FindVirtual=%v disagrees with model", ctx(), ok)
+			}
+		}
+	}
+
+	// Final sweep: every model entry is resident and vice versa.
+	total := 0
+	for r := range model.rows {
+		for _, e := range model.rows[r] {
+			total++
+			if _, ok := c.FindVirtual(e.asid, e.vpage*256); !ok {
+				t.Errorf("model entry <%d,%d> missing from cache", e.asid, e.vpage)
+			}
+		}
+	}
+	live := 0
+	c.ValidSlots(func(_ SlotID, s Slot) {
+		live++
+		if model.find(s.ASID, s.VPage) < 0 {
+			t.Errorf("cache slot <%d,%d> missing from model", s.ASID, s.VPage)
+		}
+	})
+	if live != total {
+		t.Errorf("cache holds %d slots, model %d", live, total)
+	}
+}

@@ -1,0 +1,58 @@
+package cache
+
+import "vmp/internal/trace"
+
+// Simulate replays a reference stream through a single cache with no
+// timing model, the way the paper's cold-start miss-ratio study
+// (Figure 4) drives its trace simulations. Misses fill the suggested
+// victim slot; write misses to present pages are granted ownership in
+// place. The cache starts cold.
+//
+// Permission flags are set permissively: the miss-ratio study is about
+// locality, not protection.
+func Simulate(cfg Config, src trace.Source) Stats {
+	c := New(cfg)
+	Replay(c, src)
+	return c.Stats()
+}
+
+// Replay drives an existing cache with a reference stream, using the
+// same fill policy as Simulate. It allows warm-start studies and
+// multi-stream experiments on one cache.
+func Replay(c *Cache, src trace.Source) {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return
+		}
+		acc := Access{Write: r.IsWrite(), Super: r.Super}
+		id, res := c.Lookup(r.ASID, r.VAddr, acc)
+		switch res {
+		case Hit:
+		case Miss:
+			victim := c.SuggestVictim(r.VAddr)
+			flags := fillFlags(r)
+			c.Fill(victim, r.ASID, r.VAddr, flags)
+		case WriteMiss:
+			// Uniprocessor ownership grant: set Exclusive in place and
+			// perform the write.
+			st := c.SlotState(id)
+			c.SetFlags(id, st.Flags|Exclusive|Modified)
+		case ProtFault:
+			// The permissive fill policy never faults; if it does, the
+			// configuration is inconsistent.
+			panic("cache: protection fault during Replay")
+		}
+	}
+}
+
+// fillFlags returns fully permissive protection (the miss-ratio study is
+// about locality, not protection), taking ownership up front on a write
+// miss as the uniprocessor handler would.
+func fillFlags(r trace.Ref) Flags {
+	flags := UserRead | UserWrite | SupWrite
+	if r.IsWrite() {
+		flags |= Exclusive | Modified
+	}
+	return flags
+}

@@ -1,0 +1,119 @@
+// Package copier models the block copier embedded in each VMP cache
+// controller. The copier performs cache-page transfers over the bus
+// using the sequential block-transfer protocol (40 MB/s on the
+// prototype's VMEbus) and runs concurrently with the CPU, which executes
+// the miss-handler bookkeeping out of local memory during the transfer.
+//
+// For comparison (the paper notes a processor copy loop manages less
+// than 5 MB/s), CopyByCPU performs the same movement with single-word
+// plain transfers plus per-word instruction overhead.
+package copier
+
+import (
+	"vmp/internal/bus"
+	"vmp/internal/sim"
+)
+
+// Copier is one board's block-copy engine. Create with New.
+type Copier struct {
+	eng     *sim.Engine
+	bus     *bus.Bus
+	boardID int
+
+	busy   bool
+	done   sim.Signal
+	result bus.Result
+
+	stats Stats
+}
+
+// Stats counts copier activity.
+type Stats struct {
+	Transfers  uint64
+	Aborted    uint64
+	BytesMoved uint64
+	BusTime    sim.Time
+}
+
+// New creates a copier for the given board.
+func New(eng *sim.Engine, b *bus.Bus, boardID int) *Copier {
+	return &Copier{eng: eng, bus: b, boardID: boardID}
+}
+
+// Stats returns a copy of the counters.
+func (c *Copier) Stats() Stats { return c.stats }
+
+// Busy reports whether a transfer is in flight.
+func (c *Copier) Busy() bool { return c.busy }
+
+// Start launches a block transaction asynchronously. The CPU may keep
+// executing (bookkeeping in local memory) and must call Wait before
+// depending on the result. Starting while busy is a programming error
+// in the miss handler and panics.
+func (c *Copier) Start(tx bus.Transaction) {
+	if c.busy {
+		panic("copier: Start while busy")
+	}
+	tx.Requester = c.boardID
+	c.busy = true
+	c.eng.Spawn("copier", func(p *sim.Process) {
+		start := p.Now()
+		res := c.bus.Do(p, tx)
+		c.stats.Transfers++
+		c.stats.BusTime += p.Now() - start
+		if res.Aborted {
+			c.stats.Aborted++
+		} else {
+			c.stats.BytesMoved += uint64(tx.Bytes)
+		}
+		c.result = res
+		c.busy = false
+		c.done.Broadcast()
+	})
+}
+
+// Wait blocks p until the in-flight transfer (if any) completes and
+// returns its result.
+func (c *Copier) Wait(p *sim.Process) bus.Result {
+	for c.busy {
+		c.done.Wait(p)
+	}
+	return c.result
+}
+
+// Run performs a block transaction synchronously: Start followed by
+// Wait.
+func (c *Copier) Run(p *sim.Process, tx bus.Transaction) bus.Result {
+	c.Start(tx)
+	return c.Wait(p)
+}
+
+// CPUCopyTiming parameterizes the software copy loop used by the
+// block-copier ablation: per-word loop overhead executed by the CPU in
+// addition to the word-at-a-time bus transfers.
+type CPUCopyTiming struct {
+	PerWordOverhead sim.Time
+}
+
+// DefaultCPUCopyTiming models a tight 68020 copy loop: roughly two
+// instructions (load, store with post-increment and branch folded in)
+// per longword at ~420 ns each beyond the bus transfer itself.
+func DefaultCPUCopyTiming() CPUCopyTiming {
+	return CPUCopyTiming{PerWordOverhead: 400 * sim.Nanosecond}
+}
+
+// CopyByCPU moves n bytes using single-word plain bus transactions in a
+// software loop, charging loop overhead per word: the slow path the
+// block copier exists to avoid. It returns the bus time consumed.
+func (c *Copier) CopyByCPU(p *sim.Process, paddr uint32, n int, t CPUCopyTiming) sim.Time {
+	var busTime sim.Time
+	for off := 0; off < n; off += 4 {
+		p.Delay(t.PerWordOverhead)
+		start := p.Now()
+		c.bus.Do(p, bus.Transaction{
+			Op: bus.PlainRead, PAddr: paddr + uint32(off), Bytes: 4, Requester: c.boardID,
+		})
+		busTime += p.Now() - start
+	}
+	return busTime
+}

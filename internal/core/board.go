@@ -1,0 +1,831 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vmp/internal/bus"
+	"vmp/internal/cache"
+	"vmp/internal/copier"
+	"vmp/internal/monitor"
+	"vmp/internal/sim"
+	"vmp/internal/stats"
+	"vmp/internal/vm"
+)
+
+// pageState is the software-maintained state of one physical cache page
+// frame, kept in the board's local memory (Section 3.3: "Information
+// about the state of each cache page and the mapping from physical
+// address to cache page is maintained by the processor in the local
+// memory").
+type pageState uint8
+
+const (
+	psShared pageState = iota
+	psPrivate
+)
+
+// frameInfo is the local-memory record for one physical frame the cache
+// holds: its consistency state and the cache slots holding copies
+// (several slots when virtual aliases or multiple ASIDs map the frame).
+// A private frame always has exactly one slot.
+type frameInfo struct {
+	state pageState
+	slots []cache.SlotID
+}
+
+// BoardStats counts per-board events beyond the cache's own counters.
+type BoardStats struct {
+	Refs             uint64   // memory references issued by the CPU
+	Retries          uint64   // fills/upgrades retried after an abort
+	IntrWords        uint64   // FIFO words serviced
+	StaleWords       uint64   // words for frames no longer held
+	InvalidationsIn  uint64   // pages discarded because another CPU took ownership
+	DowngradesIn     uint64   // pages downgraded to shared on a foreign read
+	WriteBacks       uint64   // write-back transactions issued
+	WriteBackRetries uint64   // write-backs retried after a stale-entry abort
+	Recoveries       uint64   // FIFO-overflow recovery sweeps
+	PageFaults       uint64   // VM faults taken
+	ProtFaults       uint64   // protection faults surfaced
+	Violations       uint64   // protocol violations observed (should stay 0)
+	MissTime         sim.Time // total time spent in the miss handler
+	IntrTime         sim.Time // total time spent servicing consistency interrupts
+}
+
+// Board is one VMP processor board: CPU timing state, virtually
+// addressed cache, bus monitor, block copier, and the cache-management
+// software's local-memory tables.
+type Board struct {
+	ID    int
+	m     *Machine
+	Cache *cache.Cache
+	Mon   *monitor.Monitor
+	Cop   *copier.Copier
+
+	// Local-memory software tables.
+	frames    map[uint32]*frameInfo // cache-page frame -> info
+	slotFrame []uint32              // cache slot -> frame it holds
+
+	// intrSig wakes an idle CPU when the monitor posts a word.
+	intrSig sim.Signal
+	// onNotify, if set, is called from interrupt service for notify
+	// words (the kernel's notification hook).
+	onNotify func(paddr uint32)
+
+	// readPrivateOnRead, if set, selects the Section 5.4 optimization:
+	// read misses to addresses it approves are fetched with
+	// read-private, anticipating a private write.
+	readPrivateOnRead func(asid uint8, vaddr uint32) bool
+
+	// protected marks frames whose Private action-table entries are
+	// deliberate region protection (e.g. during DMA): stale-word
+	// handling must not clear them.
+	protected map[uint32]bool
+
+	// missHist records the elapsed time of every miss-handler
+	// invocation, in microseconds (exponential buckets 1µs..1ms).
+	missHist *stats.Histogram
+
+	stats BoardStats
+}
+
+func newBoard(m *Machine, id int) *Board {
+	c := cache.New(m.cfg.Cache)
+	b := &Board{
+		ID:        id,
+		m:         m,
+		Cache:     c,
+		Mon:       monitor.New(id, m.Mem.Frames(), m.cfg.Cache.PageSize, m.cfg.FIFODepth),
+		Cop:       copier.New(m.Eng, m.Bus, id),
+		frames:    make(map[uint32]*frameInfo),
+		slotFrame: make([]uint32, m.cfg.Cache.Slots()),
+		protected: make(map[uint32]bool),
+		missHist:  stats.NewHistogram(1, 1024), // µs
+	}
+	b.Mon.SetInterruptLine(func() { b.intrSig.Broadcast() })
+	m.Bus.Attach(b.Mon)
+	return b
+}
+
+// Stats returns a copy of the board counters.
+func (b *Board) Stats() BoardStats { return b.stats }
+
+// MissLatency returns the histogram of miss-handler elapsed times in
+// microseconds (top-level misses only; nested page-table fills are
+// inside their parent's measurement).
+func (b *Board) MissLatency() *stats.Histogram { return b.missHist }
+
+// SetNotifyHandler registers the kernel's notification callback,
+// invoked from interrupt service with the notifying physical address.
+func (b *Board) SetNotifyHandler(fn func(paddr uint32)) { b.onNotify = fn }
+
+// SetReadPrivateOnRead installs the unshared-region hint (Section 5.4).
+func (b *Board) SetReadPrivateOnRead(fn func(asid uint8, vaddr uint32) bool) {
+	b.readPrivateOnRead = fn
+}
+
+func (b *Board) pageSize() int   { return b.m.cfg.Cache.PageSize }
+func (b *Board) timing() *Timing { return &b.m.cfg.Timing }
+
+// retryDelay is the re-trap cost plus a small per-board skew. The skew
+// models each board's distinct arbitration position and clock phase;
+// without it, identical programs on identical boards can phase-lock
+// into deterministic starvation that real hardware's natural skew
+// breaks.
+func (b *Board) retryDelay() sim.Time {
+	return b.timing().Handler.Retry + sim.Time(b.ID)*25*sim.Nanosecond
+}
+func (b *Board) frameOf(paddr uint32) uint32 {
+	return paddr / uint32(b.pageSize())
+}
+func (b *Board) frameAddr(frame uint32) uint32 {
+	return frame * uint32(b.pageSize())
+}
+
+// Access performs one memory reference through the cache, handling
+// misses, ownership negotiation, aborts and retries. It returns a
+// protection fault as an error; residence faults are served internally.
+// The reference's CPU execution time is charged by the caller; Access
+// charges only miss-handling time.
+func (b *Board) Access(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access) error {
+	b.stats.Refs++
+	// Bus-monitor interrupts are serviced between instructions.
+	b.ServiceInterrupts(p)
+	for {
+		_, res := b.Cache.Lookup(asid, vaddr, acc)
+		switch res {
+		case cache.Hit:
+			return nil
+		case cache.Miss:
+			if err := b.missFill(p, asid, vaddr, acc); err != nil {
+				return err
+			}
+		case cache.WriteMiss:
+			b.upgradeOwnership(p, asid, vaddr)
+		case cache.ProtFault:
+			b.stats.ProtFaults++
+			return fmt.Errorf("core: protection fault board=%d asid=%d vaddr=%#x", b.ID, asid, vaddr)
+		}
+	}
+}
+
+// Resident reports whether (asid, vaddr) currently hits in the cache
+// without disturbing LRU or stats — a test/debug helper.
+func (b *Board) Resident(asid uint8, vaddr uint32) bool {
+	_, ok := b.Cache.FindVirtual(asid, vaddr)
+	return ok
+}
+
+// PAddrOf returns the physical address backing a resident virtual
+// address (used by the data-access layer: the slot's frame plus offset).
+func (b *Board) PAddrOf(asid uint8, vaddr uint32) (uint32, bool) {
+	slot, ok := b.Cache.FindVirtual(asid, vaddr)
+	if !ok {
+		return 0, false
+	}
+	return b.frameAddr(b.slotFrame[slot]) + vaddr%uint32(b.pageSize()), true
+}
+
+// missFill is the software cache-miss handler (Section 2): trap, pick a
+// victim, write it back if needed, translate, program the block copier,
+// update the local tables, return from the exception. An ownership
+// conflict aborts the fill; the instruction re-traps and the handler
+// runs again, after servicing the interrupt words that tell this board
+// what to release.
+func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access) error {
+	t := b.timing()
+	start := p.Now()
+	defer func() {
+		d := p.Now() - start
+		b.stats.MissTime += d
+		b.missHist.Add(d.Micros())
+	}()
+
+	p.Delay(t.Handler.TrapEntry)
+
+	// Translate first (the table walk may recursively miss and fill the
+	// page-table's own cache page, so the victim is chosen after).
+	walk, err := b.translate(p, asid, vaddr, acc, 0)
+	if err != nil {
+		return err
+	}
+	frame := b.frameOf(walk.PAddr)
+	pageAddr := b.frameAddr(frame)
+
+	// Victim selection and eviction.
+	p.Delay(t.Handler.VictimSelect)
+	victim := b.Cache.SuggestVictim(vaddr)
+	b.evict(p, victim)
+
+	// Resolve our own aliases for the target frame before going to the
+	// bus, from local-memory state (see the monitor package comment).
+	op := bus.ReadShared
+	wantPrivate := acc.Write || (b.readPrivateOnRead != nil && b.readPrivateOnRead(asid, vaddr))
+	if wantPrivate {
+		op = bus.ReadPrivate
+	}
+	b.resolveOwnAliases(p, frame, wantPrivate)
+
+	// Program the block copier; bookkeeping overlaps the transfer.
+	b.Cop.Start(bus.Transaction{Op: op, PAddr: pageAddr, Bytes: b.pageSize()})
+	p.Delay(t.Handler.BookkeepRead)
+	res := b.Cop.Wait(p)
+	if res.Aborted {
+		// Ownership conflict: the owner was interrupted and will
+		// release the page. Re-trap, service our own interrupts (we may
+		// be the owner under an alias, or hold a stale entry), retry.
+		b.stats.Retries++
+		p.Delay(b.retryDelay())
+		b.resolveOwnConflict(p, frame)
+		b.ServiceInterrupts(p)
+		return nil // Access re-looks-up and re-traps
+	}
+
+	// Fill the slot and update the local tables.
+	flags := b.fillFlags(walk.PTE, op, acc)
+	b.Cache.Fill(victim, asid, vaddr, flags)
+	b.slotFrame[victim] = frame
+	fi := b.frames[frame]
+	if fi == nil {
+		fi = &frameInfo{}
+		b.frames[frame] = fi
+	}
+	fi.slots = append(fi.slots, victim)
+	if op == bus.ReadPrivate {
+		fi.state = psPrivate
+	} else {
+		fi.state = psShared
+	}
+	if b.m.checker != nil {
+		b.m.checker.acquired(b.ID, frame, fi.state)
+	}
+	if acc.Write {
+		b.m.VM.SetModified(asid, vaddr)
+	} else {
+		b.m.VM.SetReferenced(asid, vaddr)
+	}
+
+	p.Delay(t.Handler.Epilogue)
+	return nil
+}
+
+// fillFlags derives the cache slot flags from the PTE and the fill
+// operation.
+func (b *Board) fillFlags(pte vm.PTE, op bus.Op, acc cache.Access) cache.Flags {
+	var f cache.Flags
+	if !pte.Has(vm.Supervisor) {
+		f |= cache.UserRead
+		if pte.Has(vm.Writable) {
+			f |= cache.UserWrite
+		}
+	}
+	if pte.Has(vm.Writable) {
+		f |= cache.SupWrite
+	}
+	if op == bus.ReadPrivate || op == bus.AssertOwnership {
+		f |= cache.Exclusive
+	}
+	if acc.Write {
+		f |= cache.Modified
+	}
+	return f
+}
+
+// translate performs the software table walk, charging handler time and
+// routing the L2 page-table-entry access through the cache (which can
+// recursively miss, depth-bounded by the PT-space direct map). Faults
+// are served by the operating system's demand-zero handler.
+func (b *Board) translate(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access, depth int) (vm.Walk, error) {
+	t := b.timing()
+	p.Delay(t.Handler.Translate)
+	for {
+		walk, err := b.m.VM.Translate(asid, vaddr, acc.Write, acc.Super)
+		if err == nil {
+			// Touch the L2 entry through the cache: the implicit cached
+			// copy of the translation. PT-space entries (L2VAddr == 0)
+			// come from local memory and cost nothing extra.
+			if walk.L2VAddr != 0 && depth == 0 {
+				if err := b.refNested(p, asid, walk.L2VAddr, depth+1); err != nil {
+					return vm.Walk{}, err
+				}
+			}
+			return walk, nil
+		}
+		f, ok := err.(*vm.Fault)
+		if !ok {
+			return vm.Walk{}, err
+		}
+		if f.Prot {
+			return vm.Walk{}, err
+		}
+		// Demand-zero page fault (operating-system service).
+		b.stats.PageFaults++
+		p.Delay(t.PageFault)
+		res, ferr := b.m.VM.HandleFault(asid, vaddr, acc.Write, acc.Super, b.m.cfg.Policy)
+		if ferr != nil {
+			return vm.Walk{}, ferr
+		}
+		for _, rp := range res.Reclaimed {
+			b.flushReclaimed(p, rp)
+		}
+	}
+}
+
+// refNested routes a nested (page-table) reference through the cache,
+// recursing into the miss handler at most once.
+func (b *Board) refNested(p *sim.Process, asid uint8, vaddr uint32, depth int) error {
+	if depth > 2 {
+		panic("core: page-table miss recursion too deep")
+	}
+	acc := cache.Access{Super: true}
+	for {
+		_, res := b.Cache.Lookup(asid, vaddr, acc)
+		switch res {
+		case cache.Hit:
+			return nil
+		case cache.Miss:
+			if err := b.missFillNested(p, asid, vaddr, acc, depth); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: unexpected %v on page-table reference %#x", res, vaddr)
+		}
+	}
+}
+
+// missFillNested is missFill with the recursion depth threaded through
+// (the public missFill starts at depth 0; the structure is identical,
+// so it simply reuses missFill's logic via translate's depth argument).
+func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access, depth int) error {
+	t := b.timing()
+	start := p.Now()
+	defer func() { b.stats.MissTime += p.Now() - start }()
+
+	p.Delay(t.Handler.TrapEntry)
+	walk, err := b.translate(p, asid, vaddr, acc, depth)
+	if err != nil {
+		return err
+	}
+	frame := b.frameOf(walk.PAddr)
+	p.Delay(t.Handler.VictimSelect)
+	victim := b.Cache.SuggestVictim(vaddr)
+	b.evict(p, victim)
+	b.resolveOwnAliases(p, frame, false)
+	b.Cop.Start(bus.Transaction{Op: bus.ReadShared, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
+	p.Delay(t.Handler.BookkeepRead)
+	if res := b.Cop.Wait(p); res.Aborted {
+		b.stats.Retries++
+		p.Delay(b.retryDelay())
+		b.resolveOwnConflict(p, frame)
+		b.ServiceInterrupts(p)
+		return nil
+	}
+	b.Cache.Fill(victim, asid, vaddr, b.fillFlags(walk.PTE, bus.ReadShared, acc))
+	b.slotFrame[victim] = frame
+	fi := b.frames[frame]
+	if fi == nil {
+		fi = &frameInfo{}
+		b.frames[frame] = fi
+	}
+	fi.slots = append(fi.slots, victim)
+	fi.state = psShared
+	if b.m.checker != nil {
+		b.m.checker.acquired(b.ID, frame, fi.state)
+	}
+	p.Delay(t.Handler.Epilogue)
+	return nil
+}
+
+// evict clears the suggested victim slot, writing its page back if it
+// holds the only (modified, private) copy. The BookkeepWB phase runs
+// unconditionally — it is the page-map update work — and overlaps the
+// write-back transfer when there is one.
+func (b *Board) evict(p *sim.Process, victim cache.SlotID) {
+	st := b.Cache.SlotState(victim)
+	if !st.Flags.Has(cache.Valid) {
+		p.Delay(b.timing().Handler.BookkeepWB)
+		return
+	}
+	frame := b.slotFrame[victim]
+	fi := b.frames[frame]
+	if fi == nil {
+		panic("core: valid slot without frame record")
+	}
+
+	if fi.state == psPrivate && st.Flags.Has(cache.Modified) {
+		// Dirty private page: write back; the entry goes to 00 as a
+		// side effect. Bookkeeping overlaps the transfer. A write-back
+		// can be spuriously aborted by another board's *stale* Shared
+		// entry (left by its own lazy clean eviction); the abort posts
+		// that board a violation word, it clears the entry, and our
+		// retry goes through.
+		b.stats.WriteBacks++
+		b.Cop.Start(bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
+		p.Delay(b.timing().Handler.BookkeepWB)
+		res := b.Cop.Wait(p)
+		for res.Aborted {
+			b.stats.WriteBackRetries++
+			p.Delay(b.retryDelay())
+			res = b.Cop.Run(p, bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
+		}
+		if b.m.checker != nil {
+			b.m.checker.released(b.ID, frame)
+		}
+	} else {
+		// Clean page (shared, or private-but-unmodified): drop the copy
+		// silently. The action-table entry is left stale — clearing it
+		// would cost a write-action-table bus transaction per eviction —
+		// and the interrupt-service path handles the resulting stale
+		// words idempotently (see handleWord).
+		p.Delay(b.timing().Handler.BookkeepWB)
+		if fi.state == psPrivate && b.m.checker != nil {
+			b.m.checker.released(b.ID, frame)
+		}
+	}
+
+	b.detachSlot(frame, fi, victim)
+	b.Cache.Invalidate(victim)
+}
+
+// detachSlot removes a slot from a frame record, deleting the record
+// when no copies remain.
+func (b *Board) detachSlot(frame uint32, fi *frameInfo, slot cache.SlotID) {
+	for i, s := range fi.slots {
+		if s == slot {
+			fi.slots = append(fi.slots[:i], fi.slots[i+1:]...)
+			break
+		}
+	}
+	if len(fi.slots) == 0 {
+		delete(b.frames, frame)
+		if fi.state == psShared && b.m.checker != nil {
+			b.m.checker.released(b.ID, frame)
+		}
+	}
+}
+
+// upgradeOwnership serves a write to a page held shared: the
+// assert-ownership negotiation of Section 3.1. On abort (an owner
+// appeared), the instruction re-traps after interrupt service.
+func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32) {
+	t := b.timing()
+	start := p.Now()
+	defer func() { b.stats.MissTime += p.Now() - start }()
+
+	p.Delay(t.Handler.TrapEntry)
+	slot, ok := b.Cache.FindVirtual(asid, vaddr)
+	if !ok {
+		// The copy vanished between lookup and handler (interrupt
+		// service in a nested path); re-trap as a plain miss.
+		p.Delay(t.Handler.Epilogue)
+		return
+	}
+	frame := b.slotFrame[slot]
+	fi := b.frames[frame]
+
+	res := b.m.Bus.Do(p, bus.Transaction{
+		Op: bus.AssertOwnership, PAddr: b.frameAddr(frame), Requester: b.ID,
+	})
+	if res.Aborted {
+		b.stats.Retries++
+		p.Delay(b.retryDelay())
+		b.ServiceInterrupts(p)
+		p.Delay(t.Handler.Epilogue)
+		return
+	}
+
+	// Ownership acquired: all other caches discard their copies in
+	// parallel. Keep exactly this slot; drop our own aliases.
+	for _, s := range append([]cache.SlotID(nil), fi.slots...) {
+		if s != slot {
+			b.Cache.Invalidate(s)
+			b.detachSlot(frame, fi, s)
+		}
+	}
+	fi.state = psPrivate
+	st := b.Cache.SlotState(slot)
+	b.Cache.SetFlags(slot, st.Flags|cache.Exclusive)
+	if b.m.checker != nil {
+		b.m.checker.upgraded(b.ID, frame)
+	}
+	b.m.VM.SetModified(asid, vaddr)
+	p.Delay(t.Handler.Epilogue)
+}
+
+// resolveOwnAliases prepares the local cache for acquiring frame:
+// when taking the frame private, our own shared alias copies must go;
+// when we already own it privately under another virtual address, the
+// own monitor would abort our fill, so release first (the paper's
+// "competing against itself", resolved from local-memory state).
+func (b *Board) resolveOwnAliases(p *sim.Process, frame uint32, wantPrivate bool) {
+	fi := b.frames[frame]
+	if fi == nil {
+		return
+	}
+	if fi.state == psPrivate {
+		// Downgrade or release our private alias copy before the bus
+		// sees our request.
+		b.releaseOwnership(p, frame, fi, !wantPrivate)
+		if wantPrivate {
+			return
+		}
+		// Kept shared: nothing else to do.
+		return
+	}
+	if wantPrivate {
+		// Drop our shared alias copies; the fill will bring the page
+		// back private under the new virtual address.
+		for _, s := range append([]cache.SlotID(nil), fi.slots...) {
+			b.Cache.Invalidate(s)
+			b.detachSlot(frame, fi, s)
+		}
+	}
+}
+
+// resolveOwnConflict runs after one of our fills was aborted: if our
+// own monitor entry is the stale cause (we no longer hold the frame),
+// clear it so the retry can proceed.
+func (b *Board) resolveOwnConflict(p *sim.Process, frame uint32) {
+	paddr := b.frameAddr(frame)
+	if b.frames[frame] == nil && b.Mon.Action(paddr) != monitor.Ignore && b.Mon.Action(paddr) != monitor.Notify {
+		b.m.Bus.Do(p, bus.Transaction{
+			Op: bus.WriteActionTable, PAddr: paddr, Requester: b.ID, Action: uint8(monitor.Ignore),
+		})
+	}
+}
+
+// releaseOwnership gives up a privately held frame: write it back if
+// dirty (with the downgrade variant when a shared copy is kept), or fix
+// the action table directly when clean.
+func (b *Board) releaseOwnership(p *sim.Process, frame uint32, fi *frameInfo, keepShared bool) {
+	if len(fi.slots) != 1 {
+		panic(fmt.Sprintf("core: private frame %d with %d slots", frame, len(fi.slots)))
+	}
+	slot := fi.slots[0]
+	st := b.Cache.SlotState(slot)
+	paddr := b.frameAddr(frame)
+
+	if st.Flags.Has(cache.Modified) {
+		b.stats.WriteBacks++
+		tx := bus.Transaction{
+			Op: bus.WriteBack, PAddr: paddr, Bytes: b.pageSize(), Downgrade: keepShared,
+		}
+		for b.Cop.Run(p, tx).Aborted {
+			// Spurious abort from a stale foreign Shared entry; that
+			// board clears it on the violation word and we retry.
+			b.stats.WriteBackRetries++
+			p.Delay(b.retryDelay())
+		}
+	} else {
+		// Clean: no data to move, but the action-table entry must leave
+		// the Private state.
+		next := monitor.Ignore
+		if keepShared {
+			next = monitor.Shared
+		}
+		b.m.Bus.Do(p, bus.Transaction{
+			Op: bus.WriteActionTable, PAddr: paddr, Requester: b.ID, Action: uint8(next),
+		})
+	}
+
+	if keepShared {
+		b.Cache.Downgrade(slot)
+		fi.state = psShared
+		b.stats.DowngradesIn++
+		if b.m.checker != nil {
+			b.m.checker.downgraded(b.ID, frame)
+		}
+	} else {
+		b.Cache.Invalidate(slot)
+		b.detachSlot(frame, fi, slot)
+		b.stats.InvalidationsIn++
+		if b.m.checker != nil {
+			b.m.checker.released(b.ID, frame)
+		}
+	}
+}
+
+// flushReclaimed pushes a page evicted by the page-out daemon out of
+// every cache: assert-ownership on each of its cache-page frames
+// (Section 3.4), then clear our own resulting table entries.
+func (b *Board) flushReclaimed(p *sim.Process, rp vm.ReclaimedPage) {
+	perVM := vm.PageSize / b.pageSize()
+	base := rp.Frame * uint32(vm.PageSize)
+	for i := 0; i < perVM; i++ {
+		paddr := base + uint32(i*b.pageSize())
+		b.assertFlush(p, paddr)
+	}
+}
+
+// assertFlush forces every cached copy of the page at paddr out of all
+// caches (including our own) and leaves our action table clean.
+func (b *Board) assertFlush(p *sim.Process, paddr uint32) {
+	b.assertFlushKeep(p, paddr)
+	// The assert left our entry Private; we do not actually hold the
+	// page, so clear it.
+	b.m.Bus.Do(p, bus.Transaction{
+		Op: bus.WriteActionTable, PAddr: paddr, Requester: b.ID, Action: uint8(monitor.Ignore),
+	})
+}
+
+// ProtectRegion forces every cached copy of the physical region out of
+// all caches (assert-ownership per cache page, whose side effect leaves
+// this board's action-table entries at Private) and marks the frames so
+// any consistency-related transaction on them keeps being aborted —
+// the Section 3.3 sequence that guards a DMA target area.
+func (b *Board) ProtectRegion(p *sim.Process, paddr uint32, bytes int) {
+	for off := 0; off < bytes; off += b.pageSize() {
+		pa := paddr + uint32(off)
+		b.assertFlushKeep(p, pa)
+		b.protected[b.frameOf(pa)] = true
+	}
+}
+
+// UnprotectRegion clears the protection after the DMA completes.
+func (b *Board) UnprotectRegion(p *sim.Process, paddr uint32, bytes int) {
+	for off := 0; off < bytes; off += b.pageSize() {
+		pa := paddr + uint32(off)
+		delete(b.protected, b.frameOf(pa))
+		b.m.Bus.Do(p, bus.Transaction{
+			Op: bus.WriteActionTable, PAddr: pa, Requester: b.ID, Action: uint8(monitor.Ignore),
+		})
+	}
+}
+
+// assertFlushKeep is assertFlush without the trailing table clear: the
+// entry is deliberately left at Private.
+func (b *Board) assertFlushKeep(p *sim.Process, paddr uint32) {
+	frame := b.frameOf(paddr)
+	if fi := b.frames[frame]; fi != nil {
+		if fi.state == psPrivate {
+			b.releaseOwnership(p, frame, fi, false)
+		} else {
+			for _, s := range append([]cache.SlotID(nil), fi.slots...) {
+				b.Cache.Invalidate(s)
+				b.detachSlot(frame, fi, s)
+			}
+		}
+	}
+	for {
+		res := b.m.Bus.Do(p, bus.Transaction{
+			Op: bus.AssertOwnership, PAddr: paddr, Requester: b.ID,
+		})
+		if !res.Aborted {
+			return
+		}
+		p.Delay(b.retryDelay())
+		b.ServiceInterrupts(p)
+	}
+}
+
+// ServiceInterrupts drains the bus-monitor FIFO, performing the
+// consistency actions of Section 3.3, and runs the overflow recovery
+// sweep if a word was dropped. It is called between instructions and at
+// retry points.
+//
+// Queued words are always serviced *before* the recovery sweep, and the
+// queue is never discarded: a queued word may be an ownership request
+// for a page this board holds privately, and releasing those pages is
+// what lets the aborted requesters make progress. (Draining first can
+// livelock a tiny FIFO under heavy contention: the requests are thrown
+// away, their retries re-fill the FIFO during the sweep's own bus
+// activity, and the cycle repeats.) Lost words are covered by the
+// conservative shared-page sweep plus the requesters' retries.
+func (b *Board) ServiceInterrupts(p *sim.Process) {
+	for {
+		for {
+			w, ok := b.Mon.Pop()
+			if !ok {
+				break
+			}
+			b.stats.IntrWords++
+			start := p.Now()
+			p.Delay(b.timing().Handler.Interrupt)
+			b.handleWord(p, w)
+			b.stats.IntrTime += p.Now() - start
+		}
+		if !b.Mon.Dropped() {
+			return
+		}
+		b.recoverOverflow(p)
+	}
+}
+
+// handleWord performs the consistency action for one FIFO word. It is
+// written to be idempotent and state-based, so stale words (for pages
+// already evicted or released) are safe.
+func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
+	if w.Op == bus.Notify {
+		if b.onNotify != nil {
+			b.onNotify(w.PAddr)
+		}
+		return
+	}
+	frame := b.frameOf(w.PAddr)
+	if b.protected[frame] {
+		// Deliberate region protection (Section 3.3's DMA support):
+		// keep aborting until the region is unprotected.
+		return
+	}
+	fi := b.frames[frame]
+	if fi == nil {
+		// Stale word: we no longer hold the frame but our table entry
+		// still reacts. Clear it so requesters stop tripping over us.
+		b.stats.StaleWords++
+		act := b.Mon.Action(w.PAddr)
+		if act == monitor.Shared || act == monitor.Private {
+			b.m.Bus.Do(p, bus.Transaction{
+				Op: bus.WriteActionTable, PAddr: w.PAddr, Requester: b.ID, Action: uint8(monitor.Ignore),
+			})
+		}
+		return
+	}
+
+	switch w.Op {
+	case bus.ReadShared:
+		// Someone wants a shared copy of a page we own: downgrade.
+		if fi.state == psPrivate {
+			b.releaseOwnership(p, frame, fi, true)
+		}
+	case bus.ReadPrivate, bus.AssertOwnership:
+		if fi.state == psPrivate {
+			b.releaseOwnership(p, frame, fi, false)
+		} else {
+			// Shared copy: discard it and clear the entry (Section 3.3:
+			// "the processor invalidates the cache slots holding this
+			// cache page and sets the k-th action table entry to 00").
+			for _, s := range append([]cache.SlotID(nil), fi.slots...) {
+				b.Cache.Invalidate(s)
+				b.detachSlot(frame, fi, s)
+			}
+			b.stats.InvalidationsIn++
+			b.m.Bus.Do(p, bus.Transaction{
+				Op: bus.WriteActionTable, PAddr: w.PAddr, Requester: b.ID, Action: uint8(monitor.Ignore),
+			})
+		}
+	case bus.WriteBack:
+		// A write-back means someone else owns the frame. If we hold a
+		// shared copy, our invalidation word must have been lost (FIFO
+		// overflow) before the recovery sweep ran: treat the write-back
+		// as the missed invalidation and discard the copy. A write-back
+		// against a frame we own privately is impossible without a
+		// genuine protocol violation (our Private entry is never lost).
+		if fi.state == psShared {
+			for _, sl := range append([]cache.SlotID(nil), fi.slots...) {
+				b.Cache.Invalidate(sl)
+				b.detachSlot(frame, fi, sl)
+			}
+			b.stats.InvalidationsIn++
+			b.m.Bus.Do(p, bus.Transaction{
+				Op: bus.WriteActionTable, PAddr: w.PAddr, Requester: b.ID, Action: uint8(monitor.Ignore),
+			})
+		} else {
+			b.stats.Violations++
+		}
+	}
+}
+
+// recoverOverflow is the FIFO-overflow recovery path: conservatively
+// invalidate every shared page (their consistency can no longer be
+// trusted — an invalidation word may have been lost) and clear the
+// corresponding table entries. Privately held pages are safe: requests
+// for them were aborted and will be retried, and any words still queued
+// are serviced by the caller after the sweep.
+func (b *Board) recoverOverflow(p *sim.Process) {
+	b.stats.Recoveries++
+	b.Mon.ClearDropped()
+
+	framesSorted := make([]uint32, 0, len(b.frames))
+	for f := range b.frames {
+		framesSorted = append(framesSorted, f)
+	}
+	sort.Slice(framesSorted, func(i, j int) bool { return framesSorted[i] < framesSorted[j] })
+
+	for _, frame := range framesSorted {
+		fi := b.frames[frame]
+		if fi.state != psShared {
+			continue
+		}
+		p.Delay(b.timing().Handler.RecoveryPerPage)
+		for _, s := range append([]cache.SlotID(nil), fi.slots...) {
+			b.Cache.Invalidate(s)
+			b.detachSlot(frame, fi, s)
+		}
+		b.m.Bus.Do(p, bus.Transaction{
+			Op: bus.WriteActionTable, PAddr: b.frameAddr(frame), Requester: b.ID, Action: uint8(monitor.Ignore),
+		})
+	}
+}
+
+// IdleLoop services interrupts while the CPU has no work, until the
+// machine drains. It lets a finished processor keep honouring the
+// consistency protocol for pages it still holds.
+func (b *Board) IdleLoop(p *sim.Process) {
+	for {
+		b.ServiceInterrupts(p)
+		if b.m.draining {
+			return
+		}
+		b.intrSig.Wait(p)
+	}
+}

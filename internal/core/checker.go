@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// checker is a global oracle that shadows every ownership transition
+// and verifies the two-state protocol invariants of Section 3.1:
+//
+//   - shared: any number of caches may hold the page; main memory is
+//     current.
+//   - private: exactly one cache holds the page.
+//
+// Shared copies may coexist with a fresh owner *transiently* (their
+// invalidation words are in flight); that is checked at quiescent
+// points, while double ownership is impossible even transiently and is
+// checked eagerly.
+type checker struct {
+	frames     map[uint32]*gframe
+	violations []string
+}
+
+type gframe struct {
+	owner   int // board ID, or -1
+	sharers map[int]bool
+}
+
+func newChecker() *checker {
+	return &checker{frames: make(map[uint32]*gframe)}
+}
+
+func (c *checker) frame(f uint32) *gframe {
+	gf := c.frames[f]
+	if gf == nil {
+		gf = &gframe{owner: -1, sharers: make(map[int]bool)}
+		c.frames[f] = gf
+	}
+	return gf
+}
+
+func (c *checker) violate(format string, args ...interface{}) {
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// acquired records a fill completing on a board.
+func (c *checker) acquired(board int, frame uint32, st pageState) {
+	gf := c.frame(frame)
+	switch st {
+	case psShared:
+		if gf.owner != -1 && gf.owner != board {
+			c.violate("board %d acquired frame %d shared while board %d owns it", board, frame, gf.owner)
+		}
+		gf.sharers[board] = true
+	case psPrivate:
+		if gf.owner != -1 && gf.owner != board {
+			c.violate("double ownership of frame %d: boards %d and %d", frame, gf.owner, board)
+		}
+		gf.owner = board
+		delete(gf.sharers, board)
+	}
+}
+
+// upgraded records a shared->private transition (assert-ownership).
+func (c *checker) upgraded(board int, frame uint32) {
+	gf := c.frame(frame)
+	if gf.owner != -1 && gf.owner != board {
+		c.violate("board %d upgraded frame %d while board %d owns it", board, frame, gf.owner)
+	}
+	gf.owner = board
+	delete(gf.sharers, board)
+}
+
+// downgraded records private->shared (read-shared served by the owner).
+func (c *checker) downgraded(board int, frame uint32) {
+	gf := c.frame(frame)
+	if gf.owner != board {
+		c.violate("board %d downgraded frame %d it does not own (owner %d)", board, frame, gf.owner)
+	}
+	gf.owner = -1
+	gf.sharers[board] = true
+}
+
+// released records a board dropping its last copy of a frame.
+func (c *checker) released(board int, frame uint32) {
+	gf := c.frame(frame)
+	if gf.owner == board {
+		gf.owner = -1
+	}
+	delete(gf.sharers, board)
+}
+
+// Violations returns the eager violations recorded so far.
+func (c *checker) Violations() []string { return c.violations }
+
+// quiescentCheck verifies that no frame has both an owner and foreign
+// sharers. Valid only when every FIFO is drained.
+func (c *checker) quiescentCheck() []string {
+	var out []string
+	keys := make([]uint32, 0, len(c.frames))
+	for f := range c.frames {
+		keys = append(keys, f)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, f := range keys {
+		gf := c.frames[f]
+		if gf.owner == -1 {
+			continue
+		}
+		for s := range gf.sharers {
+			if s != gf.owner {
+				out = append(out, fmt.Sprintf("frame %d owned by board %d but shared by board %d", f, gf.owner, s))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vmp/internal/bus"
+	"vmp/internal/cache"
+	"vmp/internal/memory"
+	"vmp/internal/monitor"
+	"vmp/internal/sim"
+	"vmp/internal/trace"
+	"vmp/internal/vm"
+)
+
+// Config describes a VMP machine.
+type Config struct {
+	// Processors is the number of processor boards on the bus.
+	Processors int
+	// Cache is the per-board cache geometry. Its page size is also the
+	// machine's cache-page frame size.
+	Cache cache.Config
+	// MemorySize is the shared main-memory size in bytes (the prototype
+	// allows up to 8 MB).
+	MemorySize int
+	// FIFODepth is the bus-monitor FIFO capacity (0 = the prototype's
+	// 128).
+	FIFODepth int
+	// Timing holds processor-side latencies (zero value = defaults).
+	Timing Timing
+	// BusTiming overrides bus latencies when non-zero.
+	BusTiming bus.Timing
+	// Policy decides PTE permissions for demand-zero faults (nil =
+	// vm.DefaultPolicy).
+	Policy vm.PagePolicy
+	// DisableChecker turns off the protocol-invariant oracle (useful
+	// only for benchmarking the simulator itself).
+	DisableChecker bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Processors <= 0 {
+		c.Processors = 1
+	}
+	if c.Cache.PageSize == 0 {
+		c.Cache = cache.Geometry(128<<10, 256, 4)
+	}
+	if c.MemorySize == 0 {
+		c.MemorySize = 8 << 20
+	}
+	if c.Timing == (Timing{}) {
+		c.Timing = DefaultTiming()
+	}
+	if c.Policy == nil {
+		c.Policy = vm.DefaultPolicy
+	}
+}
+
+// Machine is a configured VMP multiprocessor.
+type Machine struct {
+	Eng    *sim.Engine
+	Bus    *bus.Bus
+	Mem    *memory.Memory
+	VM     *vm.VM
+	Boards []*Board
+
+	cfg      Config
+	checker  *checker
+	draining bool
+
+	activeDrivers int
+	finishTimes   map[int]sim.Time
+}
+
+// NewMachine builds the machine: engine, bus, memory, VM, and one board
+// (cache + monitor + copier) per processor.
+func NewMachine(cfg Config) (*Machine, error) {
+	cfg.fillDefaults()
+	if err := cfg.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MemorySize%vm.PageSize != 0 {
+		return nil, fmt.Errorf("core: memory size %d not a multiple of the VM page size", cfg.MemorySize)
+	}
+	eng := sim.NewEngine()
+	mem := memory.New(cfg.MemorySize, cfg.Cache.PageSize)
+	m := &Machine{
+		Eng:         eng,
+		Bus:         bus.New(eng),
+		Mem:         mem,
+		VM:          vm.New(mem),
+		cfg:         cfg,
+		finishTimes: make(map[int]sim.Time),
+	}
+	if cfg.BusTiming != (bus.Timing{}) {
+		m.Bus.SetTiming(cfg.BusTiming)
+	}
+	if !cfg.DisableChecker {
+		m.checker = newChecker()
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		m.Boards = append(m.Boards, newBoard(m, i))
+	}
+	return m, nil
+}
+
+// Config returns the (default-filled) machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// EnsureSpace creates the address space if it does not exist yet.
+func (m *Machine) EnsureSpace(asid uint8) error {
+	for _, a := range m.VM.Spaces() {
+		if a == asid {
+			return nil
+		}
+	}
+	return m.VM.CreateSpace(asid)
+}
+
+// Prefault maps the page containing each address (demand-zero, no
+// simulated time), so steady-state experiments do not measure cold page
+// faults.
+func (m *Machine) Prefault(asid uint8, vaddrs []uint32) error {
+	if err := m.EnsureSpace(asid); err != nil {
+		return err
+	}
+	for _, va := range vaddrs {
+		super := va >= vm.KernelBase
+		if _, err := m.VM.Translate(asid, va, false, super); err == nil {
+			continue
+		}
+		if _, err := m.VM.HandleFault(asid, va, false, super, m.cfg.Policy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrefaultTrace maps every page a trace touches.
+func (m *Machine) PrefaultTrace(refs []trace.Ref) error {
+	seen := make(map[uint64]bool)
+	for _, r := range refs {
+		key := uint64(r.ASID)<<32 | uint64(r.VAddr/vm.PageSize)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if err := m.Prefault(r.ASID, []uint32{r.VAddr}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunTrace attaches a trace-driven CPU to a board. Every reference
+// costs the average inter-reference CPU time plus any miss handling.
+// Protection faults are counted and skipped (a trace cannot respond to
+// them). The driver must be attached before Run.
+func (m *Machine) RunTrace(boardID int, src trace.Source) {
+	b := m.Boards[boardID]
+	m.activeDrivers++
+	refTime := m.cfg.Timing.RefTime()
+	m.Eng.Spawn(fmt.Sprintf("cpu%d", boardID), func(p *sim.Process) {
+		for {
+			ref, ok := src.Next()
+			if !ok {
+				break
+			}
+			p.Delay(refTime)
+			acc := cache.Access{Write: ref.IsWrite(), Super: ref.Super}
+			// Access returns an error only for protection faults, which
+			// are already counted in the board stats.
+			_ = b.Access(p, ref.ASID, ref.VAddr, acc)
+		}
+		m.driverDone(boardID, p)
+		b.IdleLoop(p)
+	})
+}
+
+// RunProgram attaches a program-driven CPU to a board (see CPU).
+func (m *Machine) RunProgram(boardID int, prog func(c *CPU)) {
+	b := m.Boards[boardID]
+	m.activeDrivers++
+	m.Eng.Spawn(fmt.Sprintf("cpu%d", boardID), func(p *sim.Process) {
+		prog(&CPU{p: p, b: b})
+		m.driverDone(boardID, p)
+		b.IdleLoop(p)
+	})
+}
+
+func (m *Machine) driverDone(boardID int, p *sim.Process) {
+	m.finishTimes[boardID] = p.Now()
+	m.activeDrivers--
+	if m.activeDrivers == 0 {
+		m.draining = true
+		for _, b := range m.Boards {
+			b.intrSig.Broadcast()
+		}
+	}
+}
+
+// Run executes the simulation until all drivers finish and every bus
+// monitor FIFO is drained, then returns the final simulated time.
+func (m *Machine) Run() sim.Time {
+	m.Eng.Run()
+	// Final drain: the last transactions may have posted words to
+	// boards whose idle loops had already exited.
+	for pass := 0; pass < 4 && m.pendingWords(); pass++ {
+		for _, b := range m.Boards {
+			b := b
+			m.Eng.Spawn(fmt.Sprintf("drain%d", b.ID), func(p *sim.Process) {
+				b.ServiceInterrupts(p)
+			})
+		}
+		m.Eng.Run()
+	}
+	return m.Eng.Now()
+}
+
+func (m *Machine) pendingWords() bool {
+	for _, b := range m.Boards {
+		if b.Mon.Pending() > 0 || b.Mon.Dropped() {
+			return true
+		}
+	}
+	return false
+}
+
+// FinishTime returns the simulated time at which a board's driver
+// completed its workload.
+func (m *Machine) FinishTime(boardID int) sim.Time { return m.finishTimes[boardID] }
+
+// Performance returns a board's normalized processor performance: the
+// CPU time its references would take with no misses, divided by the
+// elapsed time its driver actually took (the paper's Figure 3 metric).
+func (m *Machine) Performance(boardID int) float64 {
+	b := m.Boards[boardID]
+	elapsed := m.finishTimes[boardID]
+	if elapsed == 0 {
+		return 0
+	}
+	ideal := sim.Time(b.stats.Refs) * m.cfg.Timing.RefTime()
+	return float64(ideal) / float64(elapsed)
+}
+
+// CheckInvariants verifies the protocol oracle and the consistency of
+// every board's local tables with its cache and monitor. It must be
+// called at a quiescent point (after Run). It returns all violations.
+func (m *Machine) CheckInvariants() []string {
+	var out []string
+	if m.checker != nil {
+		out = append(out, m.checker.Violations()...)
+		if !m.pendingWords() {
+			out = append(out, m.checker.quiescentCheck()...)
+		}
+	}
+	for _, b := range m.Boards {
+		out = append(out, m.checkBoard(b)...)
+	}
+	return out
+}
+
+func (m *Machine) checkBoard(b *Board) []string {
+	var out []string
+	// Every valid cache slot must be recorded under its frame.
+	slotSeen := make(map[cache.SlotID]uint32)
+	frames := make([]uint32, 0, len(b.frames))
+	for f := range b.frames {
+		frames = append(frames, f)
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	for _, f := range frames {
+		fi := b.frames[f]
+		if len(fi.slots) == 0 {
+			out = append(out, fmt.Sprintf("board %d: empty frame record %d", b.ID, f))
+		}
+		if fi.state == psPrivate && len(fi.slots) != 1 {
+			out = append(out, fmt.Sprintf("board %d: private frame %d with %d slots", b.ID, f, len(fi.slots)))
+		}
+		for _, s := range fi.slots {
+			slotSeen[s] = f
+			st := b.Cache.SlotState(s)
+			if !st.Flags.Has(cache.Valid) {
+				out = append(out, fmt.Sprintf("board %d: frame %d lists invalid slot %d", b.ID, f, s))
+			}
+			if fi.state == psPrivate && !st.Flags.Has(cache.Exclusive) {
+				out = append(out, fmt.Sprintf("board %d: private frame %d slot %d lacks Exclusive", b.ID, f, s))
+			}
+			if fi.state == psShared && st.Flags.Has(cache.Exclusive) {
+				out = append(out, fmt.Sprintf("board %d: shared frame %d slot %d has Exclusive", b.ID, f, s))
+			}
+			if b.slotFrame[s] != f {
+				out = append(out, fmt.Sprintf("board %d: slot %d frame map mismatch", b.ID, s))
+			}
+		}
+		// The monitor must reflect at least the protection the state
+		// requires (Private for owned pages; Shared entries may be
+		// stale on other frames but never *missing* here).
+		act := b.Mon.Action(b.frameAddr(f))
+		switch fi.state {
+		case psPrivate:
+			if act != monitor.Private {
+				out = append(out, fmt.Sprintf("board %d: private frame %d has action %v", b.ID, f, act))
+			}
+		case psShared:
+			if act != monitor.Shared {
+				out = append(out, fmt.Sprintf("board %d: shared frame %d has action %v", b.ID, f, act))
+			}
+		}
+	}
+	b.Cache.ValidSlots(func(s cache.SlotID, _ cache.Slot) {
+		if _, ok := slotSeen[s]; !ok {
+			out = append(out, fmt.Sprintf("board %d: valid slot %d not in page map", b.ID, s))
+		}
+	})
+	return out
+}
+
+// TotalStats sums the cache statistics across boards.
+func (m *Machine) TotalStats() (cache.Stats, BoardStats) {
+	var cs cache.Stats
+	var bs BoardStats
+	for _, b := range m.Boards {
+		c := b.Cache.Stats()
+		cs.Hits += c.Hits
+		cs.Misses += c.Misses
+		cs.WriteMisses += c.WriteMisses
+		cs.ProtFaults += c.ProtFaults
+		cs.Fills += c.Fills
+		cs.Invalidates += c.Invalidates
+		cs.Downgrades += c.Downgrades
+		s := b.Stats()
+		bs.Refs += s.Refs
+		bs.Retries += s.Retries
+		bs.IntrWords += s.IntrWords
+		bs.StaleWords += s.StaleWords
+		bs.InvalidationsIn += s.InvalidationsIn
+		bs.DowngradesIn += s.DowngradesIn
+		bs.WriteBacks += s.WriteBacks
+		bs.Recoveries += s.Recoveries
+		bs.PageFaults += s.PageFaults
+		bs.ProtFaults += s.ProtFaults
+		bs.Violations += s.Violations
+		bs.MissTime += s.MissTime
+		bs.IntrTime += s.IntrTime
+	}
+	return cs, bs
+}

@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure in the
+// paper's evaluation (Section 5) plus the ablations implied by
+// Sections 2, 3.3, 5.4 and 6. Each experiment returns a Result holding
+// a rendered table (and an ASCII plot for the figures) side by side
+// with the values the paper reports, so EXPERIMENTS.md can record
+// paper-vs-measured for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vmp/internal/stats"
+)
+
+// Options tunes experiment cost.
+type Options struct {
+	// Quick shrinks trace lengths and sweep densities for smoke runs
+	// and benchmarks.
+	Quick bool
+	// Seed feeds every stochastic workload.
+	Seed uint64
+}
+
+// DefaultOptions runs experiments at full fidelity.
+func DefaultOptions() Options { return Options{Seed: 11} }
+
+func (o Options) traceLen() int {
+	if o.Quick {
+		return 60_000
+	}
+	return 450_000
+}
+
+// Result is one regenerated artifact.
+type Result struct {
+	ID        string // e.g. "table1", "fig4", "ablation-locks"
+	Title     string
+	Table     *stats.Table
+	Plot      *stats.Plot
+	PaperNote string // what the paper reports, for comparison
+}
+
+// String renders the result for a terminal.
+func (r *Result) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != nil {
+		out += r.Table.String()
+	}
+	if r.Plot != nil {
+		out += r.Plot.String()
+	}
+	if r.PaperNote != "" {
+		out += "paper: " + r.PaperNote + "\n"
+	}
+	return out
+}
+
+// runner produces one experiment.
+type runner struct {
+	id  string
+	fn  func(Options) (*Result, error)
+	doc string
+}
+
+var registry = []runner{
+	{"fig1", Figure1, "processor board organization (diagram artifact)"},
+	{"table1", Table1, "elapsed and bus time per cache miss"},
+	{"table2", Table2, "average cache miss cost (75% clean victims)"},
+	{"fig2", Figure2Timing, "action-table update within a bus transaction"},
+	{"fig3", Figure3, "processor performance vs cache miss ratio"},
+	{"fig4", Figure4, "cold-start miss ratio vs cache size"},
+	{"fig5", Figure5, "bus utilization vs miss ratio; processors per bus"},
+	{"locks", AblationLocks, "test-and-set spinning vs notification locks"},
+	{"protocols", AblationProtocols, "VMP vs snoopy write-invalidate/write-broadcast vs MIPS-X"},
+	{"copier", AblationCopier, "block copier vs CPU copy loop"},
+	{"readprivate", AblationReadPrivate, "read-private-on-read hint for unshared regions"},
+	{"scaling", AblationScaling, "per-processor performance vs number of processors"},
+	{"fifo", AblationFIFO, "FIFO depth and overflow recovery"},
+	{"alias", AblationAlias, "virtual-address alias consistency cost"},
+	{"translation", AblationTranslation, "translation-consistency (remap) cost"},
+	{"clustering", AblationClustering, "clustering related data on cache pages"},
+	{"asid", AblationASID, "ASID tags vs cache flush on context switch"},
+	{"pagecontention", AblationPageContention, "false-sharing cost vs page size"},
+	{"spinfair", AblationSpinFairness, "naive vs backoff spinning in machine code"},
+	{"assoc", AblationAssociativity, "miss ratio vs cache associativity"},
+	{"app", AblationParallelApp, "parallel application speedup"},
+	{"ipc", AblationIPC, "mailbox IPC latency via bus-monitor notification"},
+	{"workqueue", AblationWorkQueue, "shared work queue with notification locking"},
+	{"consistency", AblationConsistency, "consistency interrupts as effective miss-ratio inflation"},
+}
+
+// IDs returns the experiment identifiers in run order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Describe returns a one-line description per experiment ID.
+func Describe() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, r := range registry {
+		out[r.id] = r.doc
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (*Result, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.fn(o)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(o Options) ([]*Result, error) {
+	var out []*Result
+	for _, r := range registry {
+		res, err := r.fn(o)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", r.id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

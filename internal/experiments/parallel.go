@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmp/internal/core"
+	"vmp/internal/kernel"
+	"vmp/internal/sim"
+	"vmp/internal/stats"
+)
+
+// AblationParallelApp measures parallel speedup of a well-behaved
+// application (shared read-only input, private partial results, one
+// locked merge) — the workload class the paper's introduction motivates
+// ("few, fast processors are more effective than many slow ones") and
+// the behaviour Section 5.4 asks software to exhibit.
+func AblationParallelApp(o Options) (*Result, error) {
+	words := uint32(12_000)
+	if o.Quick {
+		words = 4_000
+	}
+	const buckets = 16
+	const inputBase, resultBase, partialBase = 0x100000, 0x300000, 0x400000
+
+	run := func(procs int) (sim.Time, float64, error) {
+		m, err := newMachine(procs, 128<<10)
+		if err != nil {
+			return 0, 0, err
+		}
+		k, err := kernel.New(m, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := m.EnsureSpace(1); err != nil {
+			return 0, 0, err
+		}
+		var pages []uint32
+		for off := uint32(0); off < words*4; off += 4096 {
+			pages = append(pages, inputBase+off)
+		}
+		pages = append(pages, resultBase)
+		for i := 0; i < procs; i++ {
+			pages = append(pages, partialBase+uint32(i)*0x1000)
+		}
+		if err := m.Prefault(1, pages); err != nil {
+			return 0, 0, err
+		}
+		for i := uint32(0); i < words; i++ {
+			w, err := m.VM.Translate(1, inputBase+i*4, true, false)
+			if err != nil {
+				return 0, 0, err
+			}
+			m.Mem.WriteWord(w.PAddr, i*2654435761)
+		}
+		lock, err := k.NewNotifyLock()
+		if err != nil {
+			return 0, 0, err
+		}
+		bar, err := k.NewBarrier(procs)
+		if err != nil {
+			return 0, 0, err
+		}
+		per := words / uint32(procs)
+		for p := 0; p < procs; p++ {
+			p := p
+			m.RunProgram(p, func(c *core.CPU) {
+				c.SetASID(1)
+				mine := partialBase + uint32(p)*0x1000
+				lo, hi := uint32(p)*per, uint32(p+1)*per
+				if p == procs-1 {
+					hi = words
+				}
+				for i := lo; i < hi; i++ {
+					v := c.Load(inputBase + i*4)
+					b := v % buckets
+					c.Store(mine+b*4, c.Load(mine+b*4)+1)
+					c.Compute(3)
+				}
+				lock.Acquire(c)
+				for b := uint32(0); b < buckets; b++ {
+					c.Store(resultBase+b*4, c.Load(resultBase+b*4)+c.Load(mine+b*4))
+				}
+				lock.Release(c)
+				bar.Wait(c)
+			})
+		}
+		end := m.Run()
+		if v := m.CheckInvariants(); len(v) != 0 {
+			return 0, 0, fmt.Errorf("invariants: %v", v)
+		}
+		total := uint32(0)
+		for b := uint32(0); b < buckets; b++ {
+			w, _ := m.VM.Translate(1, resultBase+b*4, false, false)
+			total += m.Mem.ReadWord(w.PAddr)
+		}
+		if total != words {
+			return 0, 0, fmt.Errorf("histogram lost elements: %d != %d", total, words)
+		}
+		return end, m.Bus.Utilization(), nil
+	}
+
+	t := stats.NewTable("Parallel histogram: a well-behaved application",
+		"Processors", "Elapsed (ms)", "Speedup", "Efficiency (%)", "Bus Util (%)")
+	var base sim.Time
+	for _, procs := range []int{1, 2, 4, 6} {
+		el, util, err := run(procs)
+		if err != nil {
+			return nil, err
+		}
+		if procs == 1 {
+			base = el
+		}
+		speedup := float64(base) / float64(el)
+		t.Add(procs, float64(el)/1e6, speedup, 100*speedup/float64(procs), 100*util)
+	}
+	return &Result{
+		ID:    "app",
+		Title: "parallel application speedup (good-behavior workload)",
+		Table: t,
+		PaperNote: "the introduction's case for shared-memory multis; with read-shared input and " +
+			"private partials the ownership protocol stays out of the way",
+	}, nil
+}
+
+// AblationIPC measures the bus monitor's notification-based
+// interprocessor messages (Section 5.4: "the bus monitor can also be
+// used to implement interprocessor messages"): mailbox round-trip time
+// and one-way throughput between two processors.
+func AblationIPC(o Options) (*Result, error) {
+	rounds := 200
+	if o.Quick {
+		rounds = 60
+	}
+	m, err := newMachine(2, 64<<10)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(m, 2)
+	if err != nil {
+		return nil, err
+	}
+	ping, err := k.NewMailbox(1)
+	if err != nil {
+		return nil, err
+	}
+	pong, err := k.NewMailbox(1)
+	if err != nil {
+		return nil, err
+	}
+	var rttTotal sim.Time
+	m.RunProgram(0, func(c *core.CPU) {
+		for i := 0; i < rounds; i++ {
+			start := c.Now()
+			ping.Send(c, []uint32{uint32(i)})
+			_ = pong.Recv(c)
+			rttTotal += c.Now() - start
+		}
+	})
+	m.RunProgram(1, func(c *core.CPU) {
+		for i := 0; i < rounds; i++ {
+			msg := ping.Recv(c)
+			pong.Send(c, msg)
+		}
+	})
+	end := m.Run()
+	if v := m.CheckInvariants(); len(v) != 0 {
+		return nil, fmt.Errorf("invariants: %v", v)
+	}
+	rtt := rttTotal / sim.Time(rounds)
+	t := stats.NewTable("Mailbox IPC over bus-monitor notification",
+		"Metric", "Value")
+	t.Add("round trips", rounds)
+	t.Add("mean RTT (µs)", rtt.Micros())
+	t.Add("one-way latency (µs)", rtt.Micros()/2)
+	t.Add("messages/s (ping-pong)", fmt.Sprintf("%.0f", float64(2*rounds)/end.Seconds()))
+	return &Result{
+		ID:    "ipc",
+		Title: "interprocessor messages via the bus monitor",
+		Table: t,
+		PaperNote: "Section 5.4: \"the bus monitor would interrupt the processor when a message is " +
+			"written to the cache page corresponding to its mailbox\"",
+	}, nil
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestSmokeAll regenerates every artifact in quick mode and checks each
+// produces a table (figures also a plot).
+func TestSmokeAll(t *testing.T) {
+	res, err := RunAll(Options{Quick: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(IDs()) {
+		t.Fatalf("%d results, want %d", len(res), len(IDs()))
+	}
+	for _, r := range res {
+		if r.Table == nil {
+			t.Errorf("%s: no table", r.ID)
+		}
+		if r.ID == "fig3" || r.ID == "fig4" || r.ID == "fig5" {
+			if r.Plot == nil {
+				t.Errorf("%s: no plot", r.ID)
+			}
+		}
+		t.Log("\n" + r.String())
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmp/internal/cache"
+	"vmp/internal/core"
+	"vmp/internal/sim"
+	"vmp/internal/stats"
+)
+
+// missCost is one measured cache-miss cost.
+type missCost struct {
+	pageSize int
+	dirty    bool
+	elapsed  sim.Time
+	busTime  sim.Time
+}
+
+// measureMissCosts reproduces Table 1's scenario inside the simulator:
+// a direct-mapped cache is warmed with page A (and its page-table
+// entries), page B conflicts A out, and the timed miss re-fetches A with
+// B as the victim — clean or dirty depending on the scenario. Timing is
+// measured, not recomputed from the constants.
+func measureMissCosts() ([]missCost, error) {
+	var out []missCost
+	for _, ps := range []int{128, 256, 512} {
+		for _, dirty := range []bool{false, true} {
+			cfg := core.Config{
+				Processors: 1,
+				Cache:      cache.Config{PageSize: ps, Rows: 16, Assoc: 1},
+				MemorySize: 4 << 20,
+			}
+			m, err := core.NewMachine(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.EnsureSpace(1); err != nil {
+				return nil, err
+			}
+			rowStride := uint32(ps * 16)
+			a, b := uint32(0x10_0000), uint32(0x10_0000)+rowStride
+			if err := m.Prefault(1, []uint32{a, b}); err != nil {
+				return nil, err
+			}
+			mc := missCost{pageSize: ps, dirty: dirty}
+			refTime := m.Config().Timing.RefTime()
+			m.RunProgram(0, func(c *core.CPU) {
+				c.SetASID(1)
+				_ = c.Load(a) // warm page tables and A
+				if dirty {
+					c.Store(b, 1)
+				} else {
+					_ = c.Load(b)
+				}
+				busBefore := m.Bus.Stats().BusyTime
+				start := c.Now()
+				_ = c.Load(a) // the measured miss: victim is B
+				mc.elapsed = c.Now() - start - refTime
+				mc.busTime = m.Bus.Stats().BusyTime - busBefore
+			})
+			m.Run()
+			if v := m.CheckInvariants(); len(v) != 0 {
+				return nil, fmt.Errorf("invariants: %v", v)
+			}
+			out = append(out, mc)
+		}
+	}
+	return out, nil
+}
+
+// paper values for Table 1 (elapsed µs, bus µs), keyed by page size and
+// victim state.
+var paperTable1 = map[int]map[bool][2]float64{
+	128: {false: {17, 3.5}, true: {17, 7.0}},
+	256: {false: {20, 6.6}, true: {23, 13.2}},
+	512: {false: {26, 13.0}, true: {36, 26.0}},
+}
+
+// Table1 regenerates "Elapsed Time and Bus Time per Cache Miss".
+func Table1(o Options) (*Result, error) {
+	costs, err := measureMissCosts()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Table 1: Elapsed Time and Bus Time per Cache Miss",
+		"Page Size (bytes)", "Replaced Page", "Elapsed (µs)", "Bus (µs)",
+		"Paper Elapsed", "Paper Bus")
+	for _, c := range costs {
+		state := "not modified"
+		if c.dirty {
+			state = "modified"
+		}
+		p := paperTable1[c.pageSize][c.dirty]
+		t.Add(c.pageSize, state, c.elapsed.Micros(), c.busTime.Micros(), p[0], p[1])
+	}
+	return &Result{
+		ID:    "table1",
+		Title: "elapsed and bus time per cache miss (measured in-simulator)",
+		Table: t,
+		PaperNote: "16 MHz 68020, 0-wait-state cache, 300ns + 100ns/longword block transfer; " +
+			"software handler ~15µs overlapped with the transfers",
+	}, nil
+}
+
+// averageMissCost mixes the measured costs at the paper's 75% clean /
+// 25% dirty victim ratio.
+type avgCost struct {
+	pageSize int
+	elapsed  sim.Time
+	busTime  sim.Time
+}
+
+func averageMissCosts() ([]avgCost, error) {
+	costs, err := measureMissCosts()
+	if err != nil {
+		return nil, err
+	}
+	byPage := map[int]map[bool]missCost{}
+	for _, c := range costs {
+		if byPage[c.pageSize] == nil {
+			byPage[c.pageSize] = map[bool]missCost{}
+		}
+		byPage[c.pageSize][c.dirty] = c
+	}
+	var out []avgCost
+	for _, ps := range []int{128, 256, 512} {
+		clean, dirty := byPage[ps][false], byPage[ps][true]
+		out = append(out, avgCost{
+			pageSize: ps,
+			elapsed:  sim.Time(0.75*float64(clean.elapsed) + 0.25*float64(dirty.elapsed)),
+			busTime:  sim.Time(0.75*float64(clean.busTime) + 0.25*float64(dirty.busTime)),
+		})
+	}
+	return out, nil
+}
+
+// Table2 regenerates "Average Cache Miss Cost" (75% of replaced pages
+// unmodified).
+func Table2(o Options) (*Result, error) {
+	avgs, err := averageMissCosts()
+	if err != nil {
+		return nil, err
+	}
+	paper := map[int][2]string{
+		128: {"17", "4.4"},
+		256: {"21.29", "8.316"},
+		512: {"-", "-"}, // the 512-byte row is not legible in the source
+	}
+	t := stats.NewTable("Table 2: Average Cache Miss Cost (75% unmodified victims)",
+		"Page Size (bytes)", "Elapsed (µs)", "Bus (µs)", "Paper Elapsed", "Paper Bus")
+	for _, a := range avgs {
+		p := paper[a.pageSize]
+		t.Add(a.pageSize, a.elapsed.Micros(), a.busTime.Micros(), p[0], p[1])
+	}
+	t.Note = "paper's 256B row implies a 74/26 mix for bus time; we use the stated 75/25"
+	return &Result{
+		ID:        "table2",
+		Title:     "average cache miss cost at the paper's clean/dirty victim mix",
+		Table:     t,
+		PaperNote: "paper reports 17µs/4.4µs at 128B and 21.29µs/8.316µs at 256B",
+	}, nil
+}
+
+// Figure2Timing renders the phases of each bus transaction type: the
+// overlapped consistency-check and action-table-update windows of
+// Figure 2.
+func Figure2Timing(o Options) (*Result, error) {
+	m, err := core.NewMachine(core.Config{Processors: 1})
+	if err != nil {
+		return nil, err
+	}
+	bt := m.Bus.Timing()
+	t := stats.NewTable("Figure 2: bus transaction timing (ns)",
+		"Transaction", "Arb+Addr", "Check Window", "Update Window", "Transfer", "Total Occupancy")
+	type row struct {
+		name  string
+		bytes int
+	}
+	rows := []row{
+		{"read-shared (128B)", 128}, {"read-shared (256B)", 256}, {"read-shared (512B)", 512},
+		{"write-back (256B)", 256}, {"assert-ownership", 0}, {"notify", 0}, {"write-action-table", 0},
+	}
+	for _, r := range rows {
+		var xfer sim.Time
+		if r.bytes > 0 {
+			words := r.bytes / 4
+			xfer = bt.FirstWord + sim.Time(words-1)*bt.NextWord
+		}
+		total := bt.ArbAddr + xfer
+		if r.bytes == 0 {
+			total = bt.ArbAddr + bt.CheckWindow + bt.UpdateWindow
+		}
+		t.Add(r.name, int64(bt.ArbAddr), int64(bt.CheckWindow), int64(bt.UpdateWindow),
+			int64(xfer), int64(total))
+	}
+	t.Note = "check and update windows overlap the block transfer: they add no occupancy to transfer transactions"
+	return &Result{
+		ID:        "fig2",
+		Title:     "action-table check/update overlapped within a bus transaction",
+		Table:     t,
+		PaperNote: "150ns consistency check + 150ns table update, overlapped with the block transfer",
+	}, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmp/internal/core"
+	"vmp/internal/kernel"
+	"vmp/internal/sim"
+	"vmp/internal/stats"
+)
+
+// AblationWorkQueue models the "workform processing" style the paper
+// sketches for VMP programming (Section 5.4 / its reference [7]): a
+// shared queue of work items guarded by a notification lock, with
+// worker processors pulling tasks and depositing results. It reports
+// throughput as workers are added — the shared-queue structure itself
+// becomes the bottleneck well before the bus does, which is the kind of
+// software-behaviour insight the paper's "challenge is in the software"
+// conclusion points at.
+func AblationWorkQueue(o Options) (*Result, error) {
+	items := 300
+	if o.Quick {
+		items = 90
+	}
+	const (
+		queueBase  = 0x100000 // queue: head word, then item words
+		resultBase = 0x200000
+		workInstr  = 400 // per-item compute
+	)
+	run := func(workers int) (sim.Time, float64, error) {
+		m, err := newMachine(workers, 64<<10)
+		if err != nil {
+			return 0, 0, err
+		}
+		k, err := kernel.New(m, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := m.EnsureSpace(1); err != nil {
+			return 0, 0, err
+		}
+		if err := m.Prefault(1, []uint32{queueBase, resultBase}); err != nil {
+			return 0, 0, err
+		}
+		lock, err := k.NewNotifyLock()
+		if err != nil {
+			return 0, 0, err
+		}
+		for w := 0; w < workers; w++ {
+			w := w
+			m.RunProgram(w, func(c *core.CPU) {
+				c.SetASID(1)
+				c.Idle(sim.Time(w) * sim.Microsecond)
+				for {
+					// Pull the next item index under the lock.
+					lock.Acquire(c)
+					next := c.Load(queueBase)
+					if next < uint32(items) {
+						c.Store(queueBase, next+1)
+					}
+					lock.Release(c)
+					if next >= uint32(items) {
+						return
+					}
+					// "Process" the item privately, then deposit into a
+					// per-worker result slot (no sharing).
+					c.Compute(workInstr)
+					mine := resultBase + uint32(w)*4
+					c.Store(mine, c.Load(mine)+next)
+				}
+			})
+		}
+		end := m.Run()
+		if v := m.CheckInvariants(); len(v) != 0 {
+			return 0, 0, fmt.Errorf("invariants: %v", v)
+		}
+		// All items must have been claimed exactly once.
+		wq, _ := m.VM.Translate(1, queueBase, false, false)
+		if got := m.Mem.ReadWord(wq.PAddr); got != uint32(items) {
+			return 0, 0, fmt.Errorf("queue head %d, want %d", got, items)
+		}
+		return end, m.Bus.Utilization(), nil
+	}
+
+	t := stats.NewTable("Work-queue throughput (workform-style processing)",
+		"Workers", "Elapsed (ms)", "Items/ms", "Speedup", "Bus Util (%)")
+	var base sim.Time
+	for _, workers := range []int{1, 2, 4, 6} {
+		el, util, err := run(workers)
+		if err != nil {
+			return nil, err
+		}
+		if workers == 1 {
+			base = el
+		}
+		t.Add(workers, float64(el)/1e6, float64(items)/(float64(el)/1e6),
+			float64(base)/float64(el), 100*util)
+	}
+	return &Result{
+		ID:    "workqueue",
+		Title: "shared work queue with notification locking",
+		Table: t,
+		PaperNote: "the paper's workform-processing direction: kernel-supported queuing primitives " +
+			"instead of ad-hoc shared-memory synchronization",
+	}, nil
+}

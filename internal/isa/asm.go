@@ -1,0 +1,467 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled image.
+type Program struct {
+	Words   []uint32
+	Entry   uint32            // word offset of the entry point
+	Symbols map[string]uint32 // label -> word offset
+}
+
+// Assemble translates assembly text into a Program. Syntax:
+//
+//	; comment            (also "#" and "//")
+//	label:               (labels may share a line with an instruction)
+//	add  r1, r2, r3
+//	addi r1, r0, 42
+//	li   r1, 0x12345678  (pseudo: expands to lui/ori sequences)
+//	lw   r1, 8(r2)
+//	sw   r1, -4(r15)
+//	tas  r1, (r2)
+//	beq  r1, r2, label   (branches and jal take labels or numbers)
+//	jal  r14, func
+//	jr   r14
+//	mv   r1, r2          (pseudo: add r1, r2, r0)
+//	b    label           (pseudo: beq r0, r0, label)
+//	sys  1
+//	.word 1234           (literal data word)
+//	.entry label         (entry point; default 0)
+//
+// Register names are r0-r15 (aliases: zero=r0, sp=r15, ra=r14).
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: make(map[string]uint32)}
+	// Pass 1: sizes and labels. Pass 2: encode.
+	if err := a.pass(src, 1); err != nil {
+		return nil, err
+	}
+	a.out = a.out[:0]
+	a.pos = 0
+	if err := a.pass(src, 2); err != nil {
+		return nil, err
+	}
+	p := &Program{Words: a.out, Symbols: a.symbols}
+	if a.entrySym != "" {
+		off, ok := a.symbols[a.entrySym]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined entry label %q", a.entrySym)
+		}
+		p.Entry = off
+	}
+	return p, nil
+}
+
+// Disassemble renders the program one instruction per line, marking the
+// entry point.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, w := range p.Words {
+		marker := "  "
+		if uint32(i) == p.Entry {
+			marker = "=>"
+		}
+		fmt.Fprintf(&b, "%s %04x: %08x  %s\n", marker, i*4, w, Decode(w))
+	}
+	return b.String()
+}
+
+type assembler struct {
+	symbols  map[string]uint32
+	out      []uint32
+	pos      uint32 // current word offset
+	entrySym string
+	line     int
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("isa: line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) emit(pass int, w uint32) {
+	if pass == 2 {
+		a.out = append(a.out, w)
+	}
+	a.pos++
+}
+
+func (a *assembler) pass(src string, pass int) error {
+	for n, raw := range strings.Split(src, "\n") {
+		a.line = n + 1
+		line := stripComment(raw)
+		// Labels (possibly several) before the statement.
+		for {
+			line = strings.TrimSpace(line)
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			label := line[:i]
+			if pass == 1 {
+				if _, dup := a.symbols[label]; dup {
+					return a.errf("duplicate label %q", label)
+				}
+				a.symbols[label] = a.pos
+			}
+			line = line[i+1:]
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.statement(pass, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{";", "#", "//"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+// statement assembles one instruction or directive.
+func (a *assembler) statement(pass int, line string) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+	args := splitArgs(rest)
+
+	switch mnemonic {
+	case ".word":
+		if len(args) != 1 {
+			return a.errf(".word takes one value")
+		}
+		v, err := a.value(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, uint32(v))
+		return nil
+	case ".entry":
+		if len(args) != 1 {
+			return a.errf(".entry takes one label")
+		}
+		a.entrySym = args[0]
+		return nil
+	case "nop":
+		a.emit(pass, Encode(Instr{Op: NOP}))
+		return nil
+	case "halt":
+		a.emit(pass, Encode(Instr{Op: HALT}))
+		return nil
+	case "mv": // pseudo: add rd, rs, r0
+		rd, rs, err := a.twoRegs(args)
+		if err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: ADD, Rd: rd, Rs1: rs}))
+		return nil
+	case "b": // pseudo: beq r0, r0, target
+		if len(args) != 1 {
+			return a.errf("b takes one target")
+		}
+		imm, err := a.branchTarget(pass, args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: BEQ, Imm: imm}))
+		return nil
+	case "li": // pseudo: load a 32-bit constant (may clobber r13)
+		if len(args) != 2 {
+			return a.errf("li takes rd, value")
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		if lit, err := strconv.ParseInt(args[1], 0, 64); err == nil {
+			// Literal: the expansion size depends only on the literal,
+			// so both passes agree.
+			a.emitLI(pass, rd, uint32(lit), false)
+			return nil
+		}
+		// Label: its value is unknown in pass 1, so always use the
+		// fixed-size general form.
+		var v int64
+		if off, ok := a.symbols[args[1]]; ok {
+			v = int64(off)
+		} else if pass == 2 {
+			return a.errf("undefined label %q", args[1])
+		}
+		a.emitLI(pass, rd, uint32(v), true)
+		return nil
+	}
+
+	op, ok := mnemonicOp(mnemonic)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnemonic)
+	}
+	switch op {
+	case ADD, SUB, AND, OR, XOR, SLL, SRL, SLT, MUL, DIV, REM:
+		if len(args) != 3 {
+			return a.errf("%s takes rd, rs1, rs2", op)
+		}
+		rd, err1 := a.reg(args[0])
+		rs1, err2 := a.reg(args[1])
+		rs2, err3 := a.reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}))
+	case ADDI, ANDI, ORI, XORI, SLTI:
+		if len(args) != 3 {
+			return a.errf("%s takes rd, rs1, imm", op)
+		}
+		rd, err1 := a.reg(args[0])
+		rs1, err2 := a.reg(args[1])
+		v, err3 := a.value(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		if v < immMin || v > immMax {
+			return a.errf("immediate %d out of range", v)
+		}
+		a.emit(pass, Encode(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: int32(v)}))
+	case LUI:
+		if len(args) != 2 {
+			return a.errf("lui takes rd, imm")
+		}
+		rd, err1 := a.reg(args[0])
+		v, err2 := a.value(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: LUI, Rd: rd, Imm: int32(v)}))
+	case LW, SW:
+		if len(args) != 2 {
+			return a.errf("%s takes reg, off(base)", op)
+		}
+		rd, err1 := a.reg(args[0])
+		off, base, err2 := a.memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: op, Rd: rd, Rs1: base, Imm: off}))
+	case TAS:
+		if len(args) != 2 {
+			return a.errf("tas takes rd, (rs)")
+		}
+		rd, err1 := a.reg(args[0])
+		off, base, err2 := a.memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		if off != 0 {
+			return a.errf("tas takes no offset")
+		}
+		a.emit(pass, Encode(Instr{Op: TAS, Rd: rd, Rs1: base}))
+	case BEQ, BNE, BLT:
+		if len(args) != 3 {
+			return a.errf("%s takes rs1, rs2, target", op)
+		}
+		rs1, err1 := a.reg(args[0])
+		rs2, err2 := a.reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		imm, err := a.branchTarget(pass, args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: op, Rd: rs1, Rs2: rs2, Imm: imm}))
+	case JAL:
+		if len(args) != 2 {
+			return a.errf("jal takes rd, target")
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.branchTarget(pass, args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: JAL, Rd: rd, Imm: imm}))
+	case JR:
+		if len(args) != 1 {
+			return a.errf("jr takes rs")
+		}
+		rs, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: JR, Rs1: rs}))
+	case SYS:
+		if len(args) != 1 {
+			return a.errf("sys takes a number")
+		}
+		v, err := a.value(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, Encode(Instr{Op: SYS, Imm: int32(v)}))
+	default:
+		return a.errf("unhandled op %v", op)
+	}
+	return nil
+}
+
+// emitLI expands the li pseudo-instruction. A 32-bit constant splits
+// into top14 (bits 31:18), mid4 (17:14) and low14 (13:0); lui loads
+// top14<<18 and ori supplies 14 low bits, so:
+//
+//   - mid4 == 0 (small constants, 256 KB-aligned addresses): two words,
+//     lui rd, top14; ori rd, rd, low14.
+//   - otherwise six words, shifting through scratch register r13:
+//     rd = top14<<18; rd >>= 14; rd |= mid4; rd <<= 14; rd |= low14.
+//
+// general forces the six-word form so label-valued li has the same
+// size in both assembler passes.
+func (a *assembler) emitLI(pass int, rd uint8, v uint32, general bool) {
+	top := wrap14(v >> 18)
+	low14 := wrap14(v & 0x3fff)
+	mid4 := v >> 14 & 0xf
+	if mid4 == 0 && !general {
+		a.emit(pass, Encode(Instr{Op: LUI, Rd: rd, Imm: top}))
+		a.emit(pass, Encode(Instr{Op: ORI, Rd: rd, Rs1: rd, Imm: low14}))
+		return
+	}
+	a.emit(pass, Encode(Instr{Op: LUI, Rd: rd, Imm: top}))
+	a.emit(pass, Encode(Instr{Op: ADDI, Rd: 13, Rs1: 0, Imm: 14})) // scratch r13
+	a.emit(pass, Encode(Instr{Op: SRL, Rd: rd, Rs1: rd, Rs2: 13}))
+	a.emit(pass, Encode(Instr{Op: ORI, Rd: rd, Rs1: rd, Imm: int32(mid4)}))
+	a.emit(pass, Encode(Instr{Op: SLL, Rd: rd, Rs1: rd, Rs2: 13}))
+	a.emit(pass, Encode(Instr{Op: ORI, Rd: rd, Rs1: rd, Imm: low14}))
+}
+
+// wrap14 reinterprets a 14-bit pattern as the signed immediate that
+// encodes it (ORI/LUI consume the raw bits, so the sign is irrelevant
+// at execution time).
+func wrap14(v uint32) int32 {
+	v &= 0x3fff
+	if v > immMax {
+		return int32(v) - (1 << immBits)
+	}
+	return int32(v)
+}
+
+func mnemonicOp(m string) (Op, bool) {
+	for op := Op(0); op < numOps; op++ {
+		if opNames[op] == m {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// twoRegs parses a two-register argument list.
+func (a *assembler) twoRegs(args []string) (uint8, uint8, error) {
+	if len(args) != 2 {
+		return 0, 0, a.errf("want two registers")
+	}
+	r1, err1 := a.reg(args[0])
+	r2, err2 := a.reg(args[1])
+	return r1, r2, firstErr(err1, err2)
+}
+
+var regAliases = map[string]uint8{"zero": 0, "ra": 14, "sp": 15}
+
+func (a *assembler) reg(s string) (uint8, error) {
+	if r, ok := regAliases[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 15 {
+			return uint8(n), nil
+		}
+	}
+	return 0, a.errf("bad register %q", s)
+}
+
+// memOperand parses "off(rN)" or "(rN)".
+func (a *assembler) memOperand(s string) (int32, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	var off int64
+	if open > 0 {
+		var err error
+		off, err = strconv.ParseInt(s[:open], 0, 32)
+		if err != nil {
+			return 0, 0, a.errf("bad offset in %q", s)
+		}
+	}
+	if off < immMin || off > immMax {
+		return 0, 0, a.errf("offset %d out of range", off)
+	}
+	base, err := a.reg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(off), base, nil
+}
+
+// value parses a number or (in pass 2) a label's *word offset*.
+func (a *assembler) value(s string) (int64, error) {
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if off, ok := a.symbols[s]; ok {
+		return int64(off), nil
+	}
+	return 0, a.errf("bad value %q", s)
+}
+
+// branchTarget resolves a label or literal to a pc-relative word
+// offset from the *next* instruction. During pass 1 labels may be
+// undefined; 0 is used since only sizes matter.
+func (a *assembler) branchTarget(pass int, s string) (int32, error) {
+	if v, err := strconv.ParseInt(s, 0, 32); err == nil {
+		return int32(v), nil
+	}
+	off, ok := a.symbols[s]
+	if !ok {
+		if pass == 1 {
+			return 0, nil
+		}
+		return 0, a.errf("undefined label %q", s)
+	}
+	rel := int64(off) - int64(a.pos) - 1
+	if rel < immMin || rel > immMax {
+		return 0, a.errf("branch to %q out of range (%d words)", s, rel)
+	}
+	return int32(rel), nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

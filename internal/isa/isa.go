@@ -1,0 +1,160 @@
+// Package isa implements a small RISC-style instruction set, an
+// assembler for it, and an execution engine that runs assembled
+// programs on a VMP processor board with every instruction fetch and
+// data reference going through the simulated virtually addressed cache.
+//
+// The paper's prototype runs 68020 machine code; its Section 7 argues
+// the ideal VMP processor is a fast RISC with cheap traps. This package
+// provides such a processor model so experiments and examples can run
+// *programs* (not just reference traces or Go closures) against the
+// cache design: spin locks written in assembly really do ping-pong
+// their lock page, loops really do hit in the cache after the first
+// iteration, and code footprint really does compete for cache slots.
+//
+// The ISA: 16 registers (r0 is hardwired zero; r15 is the conventional
+// stack pointer), 32-bit fixed-width instructions, word addressing for
+// code and word loads/stores for data.
+package isa
+
+import "fmt"
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	NOP Op = iota
+	HALT
+	// R-format: rd, rs1, rs2.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL // shift left by rs2&31
+	SRL // logical shift right by rs2&31
+	SLT // rd = rs1 < rs2 (signed)
+	MUL // low 32 bits of rs1*rs2
+	DIV // unsigned quotient (0 if rs2 == 0)
+	REM // unsigned remainder (rs1 if rs2 == 0)
+	// I-format: rd, rs1, imm14 (sign-extended).
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	LUI // rd = imm14 << 18
+	// Memory: LW rd, imm(rs1); SW stores rd at imm(rs1).
+	LW
+	SW
+	// TAS rd, (rs1): atomic test-and-set of the word at rs1.
+	TAS
+	// Branches: rs1 (in the rd field), rs2, signed word offset imm14
+	// relative to the *next* instruction.
+	BEQ
+	BNE
+	BLT
+	// JAL rd, imm14: rd = return address; pc += imm words (relative to
+	// next instruction). JR rs1: pc = rs1.
+	JAL
+	JR
+	// SYS imm: host service call (see Runner.Syscall).
+	SYS
+	numOps
+)
+
+var opNames = [numOps]string{
+	"nop", "halt",
+	"add", "sub", "and", "or", "xor", "sll", "srl", "slt", "mul", "div", "rem",
+	"addi", "andi", "ori", "xori", "slti", "lui",
+	"lw", "sw", "tas",
+	"beq", "bne", "blt",
+	"jal", "jr", "sys",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  uint8 // destination (or rs1 for branches, source for SW)
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32 // 14-bit signed immediate
+}
+
+// Field layout: op[31:26] rd[25:22] rs1[21:18] rs2[17:14] imm[13:0].
+const (
+	immBits = 14
+	immMask = 1<<immBits - 1
+	immMin  = -(1 << (immBits - 1))
+	immMax  = 1<<(immBits-1) - 1
+)
+
+// Encode packs an instruction. It panics on out-of-range fields: the
+// assembler validates ranges and reports errors with positions, so a
+// panic here is an assembler bug.
+func Encode(i Instr) uint32 {
+	if i.Op >= numOps {
+		panic("isa: bad opcode")
+	}
+	if i.Rd > 15 || i.Rs1 > 15 || i.Rs2 > 15 {
+		panic("isa: bad register")
+	}
+	if i.Imm < immMin || i.Imm > immMax {
+		panic(fmt.Sprintf("isa: immediate %d out of range", i.Imm))
+	}
+	return uint32(i.Op)<<26 | uint32(i.Rd)<<22 | uint32(i.Rs1)<<18 |
+		uint32(i.Rs2)<<14 | uint32(i.Imm)&immMask
+}
+
+// Decode unpacks an instruction word.
+func Decode(w uint32) Instr {
+	imm := int32(w & immMask)
+	if imm&(1<<(immBits-1)) != 0 {
+		imm -= 1 << immBits // sign extend
+	}
+	return Instr{
+		Op:  Op(w >> 26),
+		Rd:  uint8(w >> 22 & 15),
+		Rs1: uint8(w >> 18 & 15),
+		Rs2: uint8(w >> 14 & 15),
+		Imm: imm,
+	}
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, HALT:
+		return i.Op.String()
+	case ADD, SUB, AND, OR, XOR, SLL, SRL, SLT, MUL, DIV, REM:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case ADDI, ANDI, ORI, XORI, SLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case LUI:
+		return fmt.Sprintf("lui r%d, %d", i.Rd, i.Imm)
+	case LW:
+		return fmt.Sprintf("lw r%d, %d(r%d)", i.Rd, i.Imm, i.Rs1)
+	case SW:
+		return fmt.Sprintf("sw r%d, %d(r%d)", i.Rd, i.Imm, i.Rs1)
+	case TAS:
+		return fmt.Sprintf("tas r%d, (r%d)", i.Rd, i.Rs1)
+	case BEQ, BNE, BLT:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs2, i.Imm)
+	case JAL:
+		return fmt.Sprintf("jal r%d, %d", i.Rd, i.Imm)
+	case JR:
+		return fmt.Sprintf("jr r%d", i.Rs1)
+	case SYS:
+		return fmt.Sprintf("sys %d", i.Imm)
+	default:
+		return fmt.Sprintf("?%d", i.Op)
+	}
+}

@@ -1,0 +1,199 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op, rd, rs1, rs2 uint8, imm int16) bool {
+		in := Instr{
+			Op:  Op(op) % numOps,
+			Rd:  rd & 15,
+			Rs1: rs1 & 15,
+			Rs2: rs2 & 15,
+			Imm: int32(imm) % (immMax + 1),
+		}
+		if in.Imm < immMin {
+			in.Imm = immMin
+		}
+		return Decode(Encode(in)) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRangeChecks(t *testing.T) {
+	cases := []Instr{
+		{Op: numOps},
+		{Op: ADD, Rd: 16},
+		{Op: ADDI, Imm: immMax + 1},
+		{Op: ADDI, Imm: immMin - 1},
+	}
+	for _, in := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%+v) did not panic", in)
+				}
+			}()
+			Encode(in)
+		}()
+	}
+}
+
+func TestDecodeNegativeImm(t *testing.T) {
+	in := Instr{Op: BEQ, Rd: 1, Rs2: 2, Imm: -5}
+	if got := Decode(Encode(in)); got.Imm != -5 {
+		t.Errorf("imm round trip: %d", got.Imm)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := map[string]Instr{
+		"add r1, r2, r3":  {Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"lw r4, 8(r5)":    {Op: LW, Rd: 4, Rs1: 5, Imm: 8},
+		"sw r4, -4(r15)":  {Op: SW, Rd: 4, Rs1: 15, Imm: -4},
+		"beq r1, r2, -3":  {Op: BEQ, Rd: 1, Rs2: 2, Imm: -3},
+		"tas r2, (r3)":    {Op: TAS, Rd: 2, Rs1: 3},
+		"halt":            {Op: HALT},
+		"sys 7":           {Op: SYS, Imm: 7},
+		"jal r14, 12":     {Op: JAL, Rd: 14, Imm: 12},
+		"jr r14":          {Op: JR, Rs1: 14},
+		"addi r1, r0, -9": {Op: ADDI, Rd: 1, Imm: -9},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; a tiny program
+		addi r1, r0, 40
+		addi r2, r0, 2
+		add  r3, r1, r2
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 4 {
+		t.Fatalf("%d words", len(p.Words))
+	}
+	if in := Decode(p.Words[2]); in.Op != ADD || in.Rd != 3 {
+		t.Errorf("word 2 = %v", in)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+		addi r1, r0, 5
+	loop:
+		addi r2, r2, 1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["loop"] != 1 {
+		t.Errorf("loop at %d", p.Symbols["loop"])
+	}
+	// bne at word 3 branches back to word 1: offset = 1 - 3 - 1 = -3.
+	if in := Decode(p.Words[3]); in.Op != BNE || in.Imm != -3 {
+		t.Errorf("bne = %v", in)
+	}
+}
+
+func TestAssembleEntryAndData(t *testing.T) {
+	p, err := Assemble(`
+	data:
+		.word 0xdeadbeef
+	main:
+		halt
+		.entry main
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("entry %d", p.Entry)
+	}
+	if p.Words[0] != 0xdeadbeef {
+		t.Errorf("data word %#x", p.Words[0])
+	}
+}
+
+func TestAssembleLISmall(t *testing.T) {
+	p, err := Assemble("li r1, 100\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 3 { // lui+ori+halt
+		t.Fatalf("li expansion: %d words", len(p.Words))
+	}
+}
+
+func TestAssembleLILarge(t *testing.T) {
+	p, err := Assemble("li r1, 0x1234abcd\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 7 { // 6-word general form + halt
+		t.Fatalf("li general expansion: %d words", len(p.Words))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate r1",
+		"add r1, r2",
+		"addi r1, r0, 99999",
+		"lw r1, r2",
+		"beq r1, r2, nowhere",
+		"add r99, r1, r2",
+		"tas r1, 4(r2)",
+		"loop:\nloop:\nhalt",
+		".entry nowhere\nhalt",
+		"li r1, nowhere\nhalt",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded", src)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	p, err := Assemble(`
+		# hash comment
+		// slash comment
+		nop ; trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Words) != 1 {
+		t.Errorf("%d words", len(p.Words))
+	}
+}
+
+func TestAssembleAliases(t *testing.T) {
+	p, err := Assemble("addi sp, zero, 64\nmv r1, sp\njal ra, 0\njr ra\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(p.Words[0]); in.Rd != 15 {
+		t.Errorf("sp alias: %v", in)
+	}
+	if in := Decode(p.Words[2]); in.Rd != 14 {
+		t.Errorf("ra alias: %v", in)
+	}
+	_ = strings.TrimSpace("")
+}

@@ -1,0 +1,84 @@
+package isa
+
+import (
+	"fmt"
+
+	"vmp/internal/core"
+)
+
+// Result reports a halted program.
+type Result struct {
+	Regs  [16]uint32
+	Steps uint64
+	PC    uint32 // address of the halt instruction
+}
+
+// RunConfig controls execution.
+type RunConfig struct {
+	// Base is the virtual byte address the program is loaded at (word
+	// aligned). Entry and labels are word offsets from Base.
+	Base uint32
+	// SP is the initial stack pointer (r15); 0 leaves it unset.
+	SP uint32
+	// MaxSteps aborts a runaway program (default one million).
+	MaxSteps uint64
+	// Syscall, if set, handles SYS instructions: it may read and write
+	// the register file through the provided CPU.
+	Syscall func(c *core.CPU, regs *[16]uint32, n int32)
+}
+
+// Load writes an assembled program into (asid, base) of the machine's
+// memory through the page tables, prefaulting as needed. It is a
+// host-side operation (no simulated time), like a kernel program
+// loader running before the measurement window.
+func Load(m *core.Machine, asid uint8, prog *Program, base uint32) error {
+	if base%4 != 0 {
+		return fmt.Errorf("isa: unaligned load base %#x", base)
+	}
+	if err := m.EnsureSpace(asid); err != nil {
+		return err
+	}
+	for i, w := range prog.Words {
+		va := base + uint32(i)*4
+		if err := m.Prefault(asid, []uint32{va}); err != nil {
+			return err
+		}
+		walk, err := m.VM.Translate(asid, va, true, false)
+		if err != nil {
+			return err
+		}
+		m.Mem.WriteWord(walk.PAddr, w)
+	}
+	return nil
+}
+
+// Exec runs an already-loaded program on the given CPU until it halts,
+// returning the final register file. Every instruction fetch and every
+// data access goes through the board's cache and miss handler; time
+// advances accordingly. The CPU's current ASID is used.
+func Exec(c *core.CPU, prog *Program, cfg RunConfig) (Result, error) {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 1_000_000
+	}
+	t := NewThread(c.ASID(), prog, cfg)
+	for !t.Step(c) {
+	}
+	return t.Result(), t.Err()
+}
+
+// Run loads the program and attaches a driver to the board that
+// executes it; result (or error) is delivered through done when the
+// program halts.
+func Run(m *core.Machine, boardID int, asid uint8, prog *Program, cfg RunConfig, done func(Result, error)) error {
+	if err := Load(m, asid, prog, cfg.Base); err != nil {
+		return err
+	}
+	m.RunProgram(boardID, func(c *core.CPU) {
+		c.SetASID(asid)
+		res, err := Exec(c, prog, cfg)
+		if done != nil {
+			done(res, err)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,318 @@
+// Package kernel provides the operating-system support layer sketched
+// in Section 5.4 of the paper: locking and queuing primitives tuned for
+// the VMP cache design, interprocessor mailboxes built on the bus
+// monitor's notification facility, and DMA management.
+//
+// Two families of locks are provided deliberately:
+//
+//   - SpinLock: a conventional test-and-set busy-wait loop on *cached*
+//     memory. Every test-and-set is a write, so the lock's cache page
+//     ping-pongs between processors — the "enormous consistency
+//     overhead" the paper warns about. It exists as the ablation
+//     baseline.
+//   - NotifyLock: the kernel-supported primitive the paper proposes —
+//     the lock word lives in non-cached, globally addressable physical
+//     memory; a blocked processor arms its bus-monitor action-table
+//     entry (code 11) for the lock's frame and sleeps until the holder
+//     issues a notify transaction on release.
+package kernel
+
+import (
+	"fmt"
+
+	"vmp/internal/core"
+	"vmp/internal/vm"
+)
+
+// Kernel is the per-machine kernel state: the uncached global region
+// allocator and the per-board notification dispatchers.
+type Kernel struct {
+	m *core.Machine
+
+	// uncached region allocation (physical addresses).
+	uncachedNext  uint32
+	uncachedLimit uint32
+
+	// notified[board] records frames whose notify interrupt has fired
+	// and not yet been consumed.
+	notified []map[uint32]bool
+
+	stats Stats
+}
+
+// Stats counts kernel-level events.
+type Stats struct {
+	SpinAcquires   uint64
+	NotifyAcquires uint64
+	NotifySleeps   uint64 // times a CPU armed the monitor and slept
+	MessagesSent   uint64
+	DMATransfers   uint64
+}
+
+// New creates the kernel layer for a machine, reserving uncachedPages
+// VM pages of physical memory as the non-cached global region.
+func New(m *core.Machine, uncachedPages int) (*Kernel, error) {
+	if uncachedPages <= 0 {
+		uncachedPages = 1
+	}
+	k := &Kernel{m: m}
+	// Grab whole VM pages so the VM allocator's alignment is kept.
+	perVM := vm.PageSize / m.Mem.PageSize()
+	var first uint32
+	for i := 0; i < uncachedPages; i++ {
+		for j := 0; j < perVM; j++ {
+			f, ok := m.Mem.AllocFrame()
+			if !ok {
+				return nil, fmt.Errorf("kernel: out of memory for uncached region")
+			}
+			if i == 0 && j == 0 {
+				first = f
+			}
+		}
+	}
+	k.uncachedNext = first * uint32(m.Mem.PageSize())
+	k.uncachedLimit = k.uncachedNext + uint32(uncachedPages*vm.PageSize)
+
+	k.notified = make([]map[uint32]bool, len(m.Boards))
+	for i, b := range m.Boards {
+		i := i
+		k.notified[i] = make(map[uint32]bool)
+		b.SetNotifyHandler(func(paddr uint32) {
+			k.notified[i][paddr/uint32(m.Mem.PageSize())] = true
+		})
+	}
+	return k, nil
+}
+
+// Stats returns a copy of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// AllocUncached reserves n bytes (word aligned) of the non-cached
+// global region and returns the physical address.
+func (k *Kernel) AllocUncached(n int) (uint32, error) {
+	n = (n + 3) &^ 3
+	if k.uncachedNext+uint32(n) > k.uncachedLimit {
+		return 0, fmt.Errorf("kernel: uncached region exhausted")
+	}
+	p := k.uncachedNext
+	k.uncachedNext += uint32(n)
+	return p, nil
+}
+
+// consumeNotify reports and clears a pending notification for a frame.
+func (k *Kernel) consumeNotify(board int, paddr uint32) bool {
+	frame := paddr / uint32(k.m.Mem.PageSize())
+	if k.notified[board][frame] {
+		delete(k.notified[board], frame)
+		return true
+	}
+	return false
+}
+
+// SpinLock is a conventional test-and-set lock in cached shared memory:
+// the ablation baseline for lock behaviour on VMP.
+type SpinLock struct {
+	ASID  uint8
+	VAddr uint32
+	k     *Kernel
+	// SpinDelay is the compute time between test-and-set attempts.
+	SpinDelay int // instructions
+}
+
+// NewSpinLock creates a spin lock on the cached word at (asid, vaddr).
+// The page should be prefaulted by the caller.
+func (k *Kernel) NewSpinLock(asid uint8, vaddr uint32) *SpinLock {
+	return &SpinLock{ASID: asid, VAddr: vaddr, k: k, SpinDelay: 10}
+}
+
+// Acquire spins with test-and-set until the lock is taken.
+func (l *SpinLock) Acquire(c *core.CPU) {
+	saved := c.ASID()
+	c.SetASID(l.ASID)
+	for c.TAS(l.VAddr) != 0 {
+		c.Compute(l.SpinDelay)
+	}
+	c.SetASID(saved)
+	l.k.stats.SpinAcquires++
+}
+
+// Release clears the lock word.
+func (l *SpinLock) Release(c *core.CPU) {
+	saved := c.ASID()
+	c.SetASID(l.ASID)
+	c.Store(l.VAddr, 0)
+	c.SetASID(saved)
+}
+
+// NotifyLock is the paper's kernel lock: an uncached global word with
+// bus-monitor notification for wakeup.
+type NotifyLock struct {
+	PAddr uint32
+	k     *Kernel
+}
+
+// NewNotifyLock allocates a lock word in the uncached global region.
+func (k *Kernel) NewNotifyLock() (*NotifyLock, error) {
+	p, err := k.AllocUncached(4)
+	if err != nil {
+		return nil, err
+	}
+	return &NotifyLock{PAddr: p, k: k}, nil
+}
+
+// Acquire takes the lock, sleeping on the bus monitor's notification
+// interrupt while it is held elsewhere.
+func (l *NotifyLock) Acquire(c *core.CPU) {
+	for {
+		if c.TASUncached(l.PAddr) == 0 {
+			l.k.stats.NotifyAcquires++
+			return
+		}
+		// Arm the action-table entry (code 11) and re-check to close
+		// the wakeup race, then sleep until notified.
+		c.WatchNotify(l.PAddr)
+		if c.TASUncached(l.PAddr) == 0 {
+			c.UnwatchNotify(l.PAddr)
+			l.k.stats.NotifyAcquires++
+			return
+		}
+		l.k.stats.NotifySleeps++
+		for !l.k.consumeNotify(c.Board().ID, l.PAddr) {
+			c.WaitInterrupt()
+		}
+		c.UnwatchNotify(l.PAddr)
+	}
+}
+
+// Release clears the lock word and notifies all sleepers.
+func (l *NotifyLock) Release(c *core.CPU) {
+	c.StoreUncached(l.PAddr, 0)
+	c.Notify(l.PAddr)
+}
+
+// Mailbox is an interprocessor message channel: the receiver's bus
+// monitor watches the mailbox page (action code 11) and the sender
+// issues a notify transaction after writing the message — "the bus
+// monitor would interrupt the processor when a message is written to
+// the cache page corresponding to its mailbox".
+type Mailbox struct {
+	PAddr uint32 // uncached message area: flag word + payload
+	Words int
+	k     *Kernel
+}
+
+// NewMailbox allocates a mailbox with room for words payload words.
+func (k *Kernel) NewMailbox(words int) (*Mailbox, error) {
+	p, err := k.AllocUncached(4 * (words + 1))
+	if err != nil {
+		return nil, err
+	}
+	return &Mailbox{PAddr: p, Words: words, k: k}, nil
+}
+
+// Send writes the payload and notifies the receiver. It spins (with
+// notification) until the mailbox is free.
+func (m *Mailbox) Send(c *core.CPU, payload []uint32) {
+	if len(payload) > m.Words {
+		panic("kernel: payload too large for mailbox")
+	}
+	// Wait for the mailbox to be empty (flag == 0).
+	for c.LoadUncached(m.PAddr) != 0 {
+		c.WatchNotify(m.PAddr)
+		if c.LoadUncached(m.PAddr) == 0 {
+			c.UnwatchNotify(m.PAddr)
+			break
+		}
+		for !m.k.consumeNotify(c.Board().ID, m.PAddr) {
+			c.WaitInterrupt()
+		}
+		c.UnwatchNotify(m.PAddr)
+	}
+	for i, w := range payload {
+		c.StoreUncached(m.PAddr+4+uint32(i)*4, w)
+	}
+	c.StoreUncached(m.PAddr, uint32(len(payload)))
+	c.Notify(m.PAddr)
+	m.k.stats.MessagesSent++
+}
+
+// Recv blocks until a message arrives, returns the payload, and frees
+// the mailbox (notifying a possibly blocked sender).
+func (m *Mailbox) Recv(c *core.CPU) []uint32 {
+	for {
+		n := c.LoadUncached(m.PAddr)
+		if n != 0 {
+			out := make([]uint32, n)
+			for i := range out {
+				out[i] = c.LoadUncached(m.PAddr + 4 + uint32(i)*4)
+			}
+			c.StoreUncached(m.PAddr, 0)
+			c.Notify(m.PAddr)
+			return out
+		}
+		c.WatchNotify(m.PAddr)
+		if c.LoadUncached(m.PAddr) != 0 {
+			c.UnwatchNotify(m.PAddr)
+			continue
+		}
+		for !m.k.consumeNotify(c.Board().ID, m.PAddr) {
+			c.WaitInterrupt()
+		}
+		c.UnwatchNotify(m.PAddr)
+	}
+}
+
+// Barrier synchronizes n processors using an uncached arrival counter
+// guarded by a notify lock, with notification wakeup for the waiters.
+type Barrier struct {
+	n     int
+	lock  *NotifyLock
+	count uint32 // paddr of the counter word
+	gen   uint32 // paddr of the generation word
+	k     *Kernel
+}
+
+// NewBarrier allocates a barrier for n arrivals.
+func (k *Kernel) NewBarrier(n int) (*Barrier, error) {
+	lock, err := k.NewNotifyLock()
+	if err != nil {
+		return nil, err
+	}
+	count, err := k.AllocUncached(4)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := k.AllocUncached(4)
+	if err != nil {
+		return nil, err
+	}
+	return &Barrier{n: n, lock: lock, count: count, gen: gen, k: k}, nil
+}
+
+// Wait blocks until n processors have arrived.
+func (b *Barrier) Wait(c *core.CPU) {
+	b.lock.Acquire(c)
+	myGen := c.LoadUncached(b.gen)
+	arrived := c.LoadUncached(b.count) + 1
+	if int(arrived) == b.n {
+		// Last arrival: open the barrier.
+		c.StoreUncached(b.count, 0)
+		c.StoreUncached(b.gen, myGen+1)
+		b.lock.Release(c)
+		c.Notify(b.gen)
+		return
+	}
+	c.StoreUncached(b.count, arrived)
+	b.lock.Release(c)
+	for c.LoadUncached(b.gen) == myGen {
+		c.WatchNotify(b.gen)
+		if c.LoadUncached(b.gen) != myGen {
+			c.UnwatchNotify(b.gen)
+			return
+		}
+		for !b.k.consumeNotify(c.Board().ID, b.gen) {
+			c.WaitInterrupt()
+		}
+		c.UnwatchNotify(b.gen)
+	}
+}

@@ -1,0 +1,357 @@
+package kernel
+
+import (
+	"testing"
+
+	"vmp/internal/cache"
+	"vmp/internal/core"
+	"vmp/internal/sim"
+)
+
+func newMachine(t *testing.T, procs int) (*core.Machine, *Kernel) {
+	t.Helper()
+	m, err := core.NewMachine(core.Config{
+		Processors: procs,
+		Cache:      cache.Geometry(64<<10, 256, 4),
+		MemorySize: 4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := New(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, k
+}
+
+func checkClean(t *testing.T, m *core.Machine) {
+	t.Helper()
+	if v := m.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}
+
+func TestAllocUncached(t *testing.T) {
+	_, k := newMachine(t, 1)
+	a, err := k.AllocUncached(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.AllocUncached(10) // rounds to 12
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a+4 {
+		t.Errorf("allocation not contiguous: %#x then %#x", a, b)
+	}
+	c, _ := k.AllocUncached(4)
+	if c != b+12 {
+		t.Errorf("unaligned: %#x after %#x", c, b)
+	}
+	// Exhaustion returns an error.
+	if _, err := k.AllocUncached(1 << 20); err == nil {
+		t.Error("oversized allocation accepted")
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	m, k := newMachine(t, 3)
+	m.EnsureSpace(1)
+	m.Prefault(1, []uint32{0x1000, 0x2000})
+	lock := k.NewSpinLock(1, 0x1000)
+	const iters = 8
+	inside := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		m.RunProgram(i, func(c *core.CPU) {
+			c.SetASID(1)
+			c.Idle(sim.Time(i) * sim.Microsecond)
+			for n := 0; n < iters; n++ {
+				lock.Acquire(c)
+				inside++
+				if inside != 1 {
+					t.Errorf("%d holders inside spin-locked section", inside)
+				}
+				v := c.Load(0x2000)
+				c.Compute(25)
+				c.Store(0x2000, v+1)
+				inside--
+				lock.Release(c)
+				c.Compute(40)
+			}
+		})
+	}
+	m.Run()
+	w, _ := m.VM.Translate(1, 0x2000, false, false)
+	if got := m.Mem.ReadWord(w.PAddr); got != 3*iters {
+		t.Errorf("counter %d, want %d", got, 3*iters)
+	}
+	if k.Stats().SpinAcquires != 3*iters {
+		t.Errorf("spin acquires %d", k.Stats().SpinAcquires)
+	}
+	checkClean(t, m)
+}
+
+func TestNotifyLockMutualExclusion(t *testing.T) {
+	m, k := newMachine(t, 4)
+	m.EnsureSpace(1)
+	m.Prefault(1, []uint32{0x2000})
+	lock, err := k.NewNotifyLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 6
+	inside := 0
+	for i := 0; i < 4; i++ {
+		i := i
+		m.RunProgram(i, func(c *core.CPU) {
+			c.SetASID(1)
+			c.Idle(sim.Time(i) * sim.Microsecond)
+			for n := 0; n < iters; n++ {
+				lock.Acquire(c)
+				inside++
+				if inside != 1 {
+					t.Errorf("%d holders inside notify-locked section", inside)
+				}
+				v := c.Load(0x2000)
+				c.Compute(200) // long section to force sleeping
+				c.Store(0x2000, v+1)
+				inside--
+				lock.Release(c)
+				c.Compute(20)
+			}
+		})
+	}
+	m.Run()
+	w, _ := m.VM.Translate(1, 0x2000, false, false)
+	if got := m.Mem.ReadWord(w.PAddr); got != 4*iters {
+		t.Errorf("counter %d, want %d", got, 4*iters)
+	}
+	st := k.Stats()
+	if st.NotifyAcquires != 4*iters {
+		t.Errorf("notify acquires %d", st.NotifyAcquires)
+	}
+	if st.NotifySleeps == 0 {
+		t.Error("nobody ever slept on the lock (contention too low to test wakeup)")
+	}
+	checkClean(t, m)
+}
+
+// The paper's §5.4 point: a notify lock generates far less consistency
+// traffic than spinning test-and-set on a cached word.
+func TestNotifyLockBeatsSpinLockOnBusTraffic(t *testing.T) {
+	run := func(useNotify bool) uint64 {
+		m, k := newMachine(t, 4)
+		m.EnsureSpace(1)
+		m.Prefault(1, []uint32{0x1000, 0x2000})
+		var acquire func(c *core.CPU)
+		var release func(c *core.CPU)
+		if useNotify {
+			l, _ := k.NewNotifyLock()
+			acquire, release = l.Acquire, l.Release
+		} else {
+			l := k.NewSpinLock(1, 0x1000)
+			acquire, release = l.Acquire, l.Release
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			m.RunProgram(i, func(c *core.CPU) {
+				c.SetASID(1)
+				c.Idle(sim.Time(i) * sim.Microsecond)
+				for n := 0; n < 10; n++ {
+					acquire(c)
+					c.Compute(300) // hold for a while
+					release(c)
+				}
+			})
+		}
+		m.Run()
+		checkClean(t, m)
+		_, bs := m.TotalStats()
+		return bs.Retries + bs.InvalidationsIn + bs.DowngradesIn
+	}
+	spinTraffic := run(false)
+	notifyTraffic := run(true)
+	if notifyTraffic >= spinTraffic {
+		t.Errorf("notify lock consistency events (%d) not below spin lock (%d)", notifyTraffic, spinTraffic)
+	}
+}
+
+func TestMailbox(t *testing.T) {
+	m, k := newMachine(t, 2)
+	mb, err := k.NewMailbox(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]uint32
+	m.RunProgram(0, func(c *core.CPU) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(c))
+		}
+	})
+	m.RunProgram(1, func(c *core.CPU) {
+		c.Idle(5 * sim.Microsecond)
+		mb.Send(c, []uint32{1, 2})
+		mb.Send(c, []uint32{3})
+		mb.Send(c, []uint32{4, 5, 6, 7})
+	})
+	m.Run()
+	if len(got) != 3 {
+		t.Fatalf("received %d messages", len(got))
+	}
+	if len(got[0]) != 2 || got[0][0] != 1 || got[0][1] != 2 {
+		t.Errorf("msg 0 = %v", got[0])
+	}
+	if len(got[2]) != 4 || got[2][3] != 7 {
+		t.Errorf("msg 2 = %v", got[2])
+	}
+	if k.Stats().MessagesSent != 3 {
+		t.Errorf("sent %d", k.Stats().MessagesSent)
+	}
+	checkClean(t, m)
+}
+
+func TestMailboxOversizePanics(t *testing.T) {
+	m, k := newMachine(t, 1)
+	mb, _ := k.NewMailbox(1)
+	m.RunProgram(0, func(c *core.CPU) {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversize send did not panic")
+			}
+		}()
+		mb.Send(c, []uint32{1, 2, 3})
+	})
+	m.Run()
+}
+
+func TestBarrier(t *testing.T) {
+	m, k := newMachine(t, 3)
+	bar, err := k.NewBarrier(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrive, depart []sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		m.RunProgram(i, func(c *core.CPU) {
+			c.Idle(sim.Time(i*20) * sim.Microsecond)
+			arrive = append(arrive, c.Now())
+			bar.Wait(c)
+			depart = append(depart, c.Now())
+		})
+	}
+	m.Run()
+	if len(depart) != 3 {
+		t.Fatalf("%d processors passed the barrier", len(depart))
+	}
+	lastArrive := arrive[0]
+	for _, a := range arrive {
+		if a > lastArrive {
+			lastArrive = a
+		}
+	}
+	for i, d := range depart {
+		if d < lastArrive {
+			t.Errorf("processor %d departed at %v before last arrival %v", i, d, lastArrive)
+		}
+	}
+	checkClean(t, m)
+}
+
+func TestBarrierReusable(t *testing.T) {
+	m, k := newMachine(t, 2)
+	bar, _ := k.NewBarrier(2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		m.RunProgram(i, func(c *core.CPU) {
+			for r := 0; r < 3; r++ {
+				c.Idle(sim.Time((i+1)*(r+1)) * sim.Microsecond)
+				bar.Wait(c)
+				if i == 0 {
+					rounds++
+				}
+			}
+		})
+	}
+	m.Run()
+	if rounds != 3 {
+		t.Errorf("completed %d rounds, want 3", rounds)
+	}
+	checkClean(t, m)
+}
+
+func TestDMATransfer(t *testing.T) {
+	m, k := newMachine(t, 2)
+	m.EnsureSpace(1)
+	m.Prefault(1, []uint32{0x8000})
+	w, _ := m.VM.Translate(1, 0x8000, false, false)
+	target := w.PAddr
+	dev := NewDMADevice(m, "eth0")
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	var readBack uint32
+	m.RunProgram(0, func(c *core.CPU) {
+		c.SetASID(1)
+		// Cache the page first so the DMA must flush it.
+		c.Store(0x8000, 0xdead)
+		k.DMATransfer(c, dev, target, payload, true)
+		// The cached copy was flushed; this re-fetches DMA'd data.
+		readBack = c.Load(0x8000)
+	})
+	m.Run()
+	want := uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24
+	if readBack != want {
+		t.Errorf("read %#x after DMA, want %#x", readBack, want)
+	}
+	if k.Stats().DMATransfers != 1 {
+		t.Error("transfer not counted")
+	}
+	checkClean(t, m)
+}
+
+func TestDMAProtectionAbortsCPUAccess(t *testing.T) {
+	// While a DMA is in flight, another processor touching the region
+	// is aborted and retries until the region is released; its access
+	// completes afterwards with the DMA data.
+	m, k := newMachine(t, 2)
+	m.EnsureSpace(1)
+	m.Prefault(1, []uint32{0x8000})
+	w, _ := m.VM.Translate(1, 0x8000, false, false)
+	target := w.PAddr
+	dev := NewDMADevice(m, "disk0")
+	payload := make([]byte, 4096)
+	payload[0] = 42
+
+	var got uint32
+	var gotAt sim.Time
+	var dmaDone sim.Time
+	m.RunProgram(0, func(c *core.CPU) {
+		c.SetASID(1)
+		k.DMATransfer(c, dev, target, payload, true)
+		dmaDone = c.Now()
+	})
+	m.RunProgram(1, func(c *core.CPU) {
+		c.SetASID(1)
+		c.Idle(3 * sim.Microsecond) // land inside the DMA window
+		got = c.Load(0x8000)
+		gotAt = c.Now()
+	})
+	m.Run()
+	if got != 42 {
+		t.Errorf("CPU read %d during/after DMA, want 42", got)
+	}
+	if gotAt < dmaDone {
+		t.Errorf("CPU read completed at %v before DMA finished at %v", gotAt, dmaDone)
+	}
+	if m.Boards[1].Stats().Retries == 0 {
+		t.Error("access during DMA was never aborted")
+	}
+	checkClean(t, m)
+}

@@ -1,0 +1,254 @@
+// Package monitor implements the per-processor bus monitor: a simple
+// state machine that watches the shared bus and interrupts its processor
+// when a cache consistency action is required.
+//
+// The monitor holds a two-bit action-table entry per physical cache page
+// frame:
+//
+//	00 (Ignore)  - do nothing
+//	01 (Shared)  - interrupt on read-private or assert-ownership;
+//	               ignore read-shared and notify
+//	10 (Private) - abort and interrupt on any consistency-related
+//	               transaction (including read-shared)
+//	11 (Notify)  - interrupt on a notification transaction
+//
+// and a FIFO of interrupt words (128 entries in the prototype) with an
+// overflow flag that triggers the software recovery path. The monitor is
+// deliberately not connected to the cache: it never reads cache tags or
+// flags, so it costs no processor-to-cache bandwidth.
+//
+// Deviation from the paper, documented in DESIGN.md: the monitor checks
+// its own processor's transactions (that is how virtual-address aliasing
+// is caught — the processor "competes against itself"), but it does not
+// enqueue FIFO words for them. The requester observes aborts
+// synchronously through the failed transaction and resolves aliases from
+// the page-state tables it keeps in local memory, which avoids a stale
+// self-interrupt race while producing the same externally visible
+// behaviour the paper describes.
+package monitor
+
+import (
+	"fmt"
+
+	"vmp/internal/bus"
+)
+
+// Action is a two-bit action-table entry.
+type Action uint8
+
+// Action-table codes from Section 3.2.
+const (
+	Ignore  Action = 0 // 00 - do nothing
+	Shared  Action = 1 // 01 - interrupt on ownership requests
+	Private Action = 2 // 10 - abort + interrupt on any consistency transaction
+	Notify  Action = 3 // 11 - interrupt on notification
+)
+
+// String names the action code.
+func (a Action) String() string {
+	switch a {
+	case Ignore:
+		return "ignore"
+	case Shared:
+		return "shared"
+	case Private:
+		return "private"
+	case Notify:
+		return "notify"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Word is one FIFO interrupt word: the transaction type and physical
+// address that triggered the interrupt.
+type Word struct {
+	Op    bus.Op
+	PAddr uint32
+}
+
+// DefaultFIFODepth is the prototype's FIFO capacity.
+const DefaultFIFODepth = 128
+
+// Stats counts monitor activity.
+type Stats struct {
+	Checks     uint64 // transactions inspected
+	Aborts     uint64 // aborts signalled
+	Interrupts uint64 // words enqueued
+	Dropped    uint64 // words lost to FIFO overflow
+}
+
+// Monitor is one processor board's bus monitor. Create with New.
+type Monitor struct {
+	boardID  int
+	pageSize int
+	table    []uint8 // packed 2-bit entries, 4 per byte
+	frames   int
+	fifo     []Word // ring buffer
+	head, n  int
+	dropped  bool
+	stats    Stats
+	onPost   func() // interrupt line to the processor, may be nil
+}
+
+// New creates a monitor for board boardID covering a physical memory of
+// frames cache page frames of pageSize bytes each, with the given FIFO
+// depth (0 selects DefaultFIFODepth).
+func New(boardID, frames, pageSize, fifoDepth int) *Monitor {
+	if fifoDepth <= 0 {
+		fifoDepth = DefaultFIFODepth
+	}
+	return &Monitor{
+		boardID:  boardID,
+		pageSize: pageSize,
+		table:    make([]uint8, (frames+3)/4),
+		frames:   frames,
+		fifo:     make([]Word, fifoDepth),
+	}
+}
+
+// BoardID implements bus.Snooper.
+func (m *Monitor) BoardID() int { return m.boardID }
+
+// SetInterruptLine registers fn to be called whenever a word is
+// enqueued (the non-maskable interrupt to the processor).
+func (m *Monitor) SetInterruptLine(fn func()) { m.onPost = fn }
+
+// Stats returns a copy of the counters.
+func (m *Monitor) Stats() Stats { return m.stats }
+
+// frame converts a physical address to its frame number.
+func (m *Monitor) frame(paddr uint32) int { return int(paddr) / m.pageSize }
+
+// Action returns the table entry for the frame containing paddr.
+func (m *Monitor) Action(paddr uint32) Action {
+	f := m.frame(paddr)
+	if f < 0 || f >= m.frames {
+		return Ignore
+	}
+	shift := uint(f&3) * 2
+	return Action(m.table[f>>2] >> shift & 3)
+}
+
+// SetAction writes the table entry for the frame containing paddr.
+// This is the local-side write; going over the bus costs a
+// write-action-table transaction, which the core issues where the paper
+// requires it.
+func (m *Monitor) SetAction(paddr uint32, a Action) {
+	f := m.frame(paddr)
+	if f < 0 || f >= m.frames {
+		panic(fmt.Sprintf("monitor: SetAction out of range paddr %#x", paddr))
+	}
+	shift := uint(f&3) * 2
+	m.table[f>>2] = m.table[f>>2]&^(3<<shift) | uint8(a)<<shift
+}
+
+// Check implements bus.Snooper: the consistency-check window decision.
+func (m *Monitor) Check(tx bus.Transaction) (abort, interrupt bool) {
+	m.stats.Checks++
+	act := m.Action(tx.PAddr)
+	own := tx.Requester == m.boardID
+
+	switch act {
+	case Ignore:
+		return false, false
+	case Shared:
+		switch tx.Op {
+		case bus.ReadShared, bus.Notify:
+			return false, false
+		case bus.ReadPrivate, bus.AssertOwnership:
+			// Another processor takes ownership: we must discard our
+			// shared copy. Our own read-private over a shared alias is
+			// resolved by the miss handler from local state.
+			return false, !own
+		case bus.WriteBack:
+			// A write-back of a page we hold shared is a protocol
+			// violation (someone wrote back a page they did not own).
+			m.stats.Aborts++
+			return true, !own
+		}
+	case Private:
+		if own && tx.Op == bus.WriteBack {
+			// The owner releasing the page: never aborted.
+			return false, false
+		}
+		// Any consistency-related transaction on a page we own must be
+		// aborted so we can release the page first. This includes our
+		// own transactions under a different virtual address (alias).
+		m.stats.Aborts++
+		return true, !own
+	case Notify:
+		if tx.Op == bus.Notify {
+			return false, !own
+		}
+		return false, false
+	}
+	return false, false
+}
+
+// Post implements bus.Snooper: enqueue a FIFO word, or set the overflow
+// flag if the FIFO is full.
+func (m *Monitor) Post(tx bus.Transaction) {
+	if m.n == len(m.fifo) {
+		m.dropped = true
+		m.stats.Dropped++
+		return
+	}
+	m.fifo[(m.head+m.n)%len(m.fifo)] = Word{Op: tx.Op, PAddr: tx.PAddr}
+	m.n++
+	m.stats.Interrupts++
+	if m.onPost != nil {
+		m.onPost()
+	}
+}
+
+// UpdateFromOwn implements bus.Snooper: the overlapped action-table
+// update performed as a side effect of this processor's own successful
+// transaction.
+func (m *Monitor) UpdateFromOwn(tx bus.Transaction) {
+	switch tx.Op {
+	case bus.ReadShared:
+		m.SetAction(tx.PAddr, Shared)
+	case bus.ReadPrivate, bus.AssertOwnership:
+		m.SetAction(tx.PAddr, Private)
+	case bus.WriteBack:
+		if tx.Downgrade {
+			m.SetAction(tx.PAddr, Shared)
+		} else {
+			m.SetAction(tx.PAddr, Ignore)
+		}
+	case bus.WriteActionTable:
+		m.SetAction(tx.PAddr, Action(tx.Action&3))
+	}
+}
+
+// Pending reports the number of queued interrupt words.
+func (m *Monitor) Pending() int { return m.n }
+
+// Pop dequeues the oldest interrupt word.
+func (m *Monitor) Pop() (Word, bool) {
+	if m.n == 0 {
+		return Word{}, false
+	}
+	w := m.fifo[m.head]
+	m.head = (m.head + 1) % len(m.fifo)
+	m.n--
+	return w, true
+}
+
+// Dropped reports whether a word has been lost to FIFO overflow since
+// the last ClearDropped. The processor's recovery path must then
+// conservatively resynchronize its cache and table.
+func (m *Monitor) Dropped() bool { return m.dropped }
+
+// ClearDropped resets the overflow flag.
+func (m *Monitor) ClearDropped() { m.dropped = false }
+
+// Drain discards all queued words (used by the overflow recovery path,
+// which rebuilds state from scratch rather than replaying words).
+func (m *Monitor) Drain() {
+	m.head, m.n = 0, 0
+}
+
+// Frames returns the number of frames the action table covers.
+func (m *Monitor) Frames() int { return m.frames }

@@ -1,0 +1,97 @@
+// Package queuing implements the "simple single-server (the bus)
+// multiple-client (several processors)" model Section 5.3 uses to
+// estimate how many processors one VMEbus supports: a machine-repairman
+// (finite-source) queue with exponential think and service times.
+//
+// Each processor alternates between computing (mean think time T — the
+// time between cache misses, including the non-bus part of miss
+// handling) and using the bus (mean service time S — the bus time per
+// miss). The closed-form stationary distribution gives bus utilization,
+// throughput, waiting time and the per-processor performance
+// degradation as the processor count grows.
+package queuing
+
+import "vmp/internal/sim"
+
+// Model is a machine-repairman queue: N clients, one server.
+type Model struct {
+	N     int     // number of processors
+	Think float64 // mean time between bus requests per processor (seconds)
+	Serve float64 // mean bus service time per request (seconds)
+}
+
+// Result holds the stationary metrics.
+type Result struct {
+	BusUtilization float64 // fraction of time the bus is busy
+	Throughput     float64 // bus requests served per second
+	WaitTime       float64 // mean queueing delay per request (seconds)
+	// PerProcessor is each processor's effective compute fraction:
+	// time spent thinking over total cycle time.
+	PerProcessor float64
+	// Degradation is PerProcessor divided by the no-contention compute
+	// fraction T/(T+S): 1.0 means the bus adds no queueing delay.
+	Degradation float64
+}
+
+// Solve computes the stationary distribution. It panics on a
+// non-positive configuration (a caller bug).
+func (m Model) Solve() Result {
+	if m.N <= 0 || m.Think <= 0 || m.Serve <= 0 {
+		panic("queuing: non-positive model parameters")
+	}
+	rho := m.Serve / m.Think
+	// p[n] ∝ N!/(N-n)! ρ^n  — probability n requests are at the server.
+	p := make([]float64, m.N+1)
+	p[0] = 1
+	sum := 1.0
+	for n := 1; n <= m.N; n++ {
+		p[n] = p[n-1] * float64(m.N-n+1) * rho
+		sum += p[n]
+	}
+	for n := range p {
+		p[n] /= sum
+	}
+	util := 1 - p[0]
+	throughput := util / m.Serve
+	// Little's law over the full cycle: N = X * (T + W + S).
+	cycle := float64(m.N) / throughput
+	wait := cycle - m.Think - m.Serve
+	if wait < 0 {
+		wait = 0
+	}
+	perProc := m.Think / cycle
+	ideal := m.Think / (m.Think + m.Serve)
+	return Result{
+		BusUtilization: util,
+		Throughput:     throughput,
+		WaitTime:       wait,
+		PerProcessor:   perProc,
+		Degradation:    perProc / ideal,
+	}
+}
+
+// FromMissModel builds a Model from cache-miss parameters: the mean
+// time between references, the miss ratio, the elapsed (non-bus) and
+// bus portions of the average miss cost, for n processors.
+func FromMissModel(n int, refTime sim.Time, missRatio float64, elapsedPerMiss, busPerMiss sim.Time) Model {
+	refsPerMiss := 1 / missRatio
+	think := refsPerMiss*refTime.Seconds() + (elapsedPerMiss - busPerMiss).Seconds()
+	return Model{N: n, Think: think, Serve: busPerMiss.Seconds()}
+}
+
+// MaxProcessors returns the largest processor count whose per-processor
+// degradation stays at or above minDegradation (e.g. 0.9 allows 10%
+// slowdown from bus contention), searching up to limit.
+func MaxProcessors(base Model, minDegradation float64, limit int) int {
+	best := 0
+	for n := 1; n <= limit; n++ {
+		m := base
+		m.N = n
+		if m.Solve().Degradation >= minDegradation {
+			best = n
+		} else {
+			break
+		}
+	}
+	return best
+}

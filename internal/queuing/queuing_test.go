@@ -1,0 +1,119 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+
+	"vmp/internal/sim"
+)
+
+func TestSingleClientMatchesNoContention(t *testing.T) {
+	m := Model{N: 1, Think: 0.9, Serve: 0.1}
+	r := m.Solve()
+	// One client never queues.
+	if r.WaitTime > 1e-12 {
+		t.Errorf("wait time %v for one client", r.WaitTime)
+	}
+	if math.Abs(r.Degradation-1) > 1e-9 {
+		t.Errorf("degradation %v, want 1", r.Degradation)
+	}
+	// Utilization = S/(T+S).
+	if math.Abs(r.BusUtilization-0.1) > 1e-9 {
+		t.Errorf("utilization %v, want 0.1", r.BusUtilization)
+	}
+}
+
+func TestUtilizationGrowsWithClients(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 10; n++ {
+		r := Model{N: n, Think: 0.9, Serve: 0.1}.Solve()
+		if r.BusUtilization <= prev {
+			t.Fatalf("utilization not increasing at n=%d", n)
+		}
+		if r.BusUtilization > 1 {
+			t.Fatalf("utilization %v > 1", r.BusUtilization)
+		}
+		prev = r.BusUtilization
+	}
+}
+
+func TestDegradationFallsWithClients(t *testing.T) {
+	prev := 2.0
+	for n := 1; n <= 12; n++ {
+		r := Model{N: n, Think: 0.8, Serve: 0.2}.Solve()
+		if r.Degradation > prev+1e-12 {
+			t.Fatalf("degradation rose at n=%d", n)
+		}
+		prev = r.Degradation
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	// Many clients with heavy service: the bus saturates and each
+	// client gets ~1/N of it.
+	r := Model{N: 20, Think: 0.1, Serve: 0.1}.Solve()
+	if r.BusUtilization < 0.99 {
+		t.Errorf("utilization %v, want ~1", r.BusUtilization)
+	}
+	if r.PerProcessor > 0.06 {
+		t.Errorf("per-processor %v, want ~0.05", r.PerProcessor)
+	}
+}
+
+func TestConservationLaws(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		m := Model{N: n, Think: 0.7, Serve: 0.06}
+		r := m.Solve()
+		// Little's law: N = X*(T+W+S).
+		lhs := float64(n)
+		rhs := r.Throughput * (m.Think + r.WaitTime + m.Serve)
+		if math.Abs(lhs-rhs) > 1e-6 {
+			t.Errorf("n=%d: Little's law violated: %v vs %v", n, lhs, rhs)
+		}
+		// Throughput = utilization / S.
+		if math.Abs(r.Throughput-r.BusUtilization/m.Serve) > 1e-9 {
+			t.Errorf("n=%d: throughput inconsistent", n)
+		}
+	}
+}
+
+func TestFromMissModel(t *testing.T) {
+	// The paper's example: 256B pages, miss ratio 0.6%, bus 8.3µs per
+	// miss, elapsed ~21µs: single-processor bus utilization ~10%.
+	m := FromMissModel(1, 344*sim.Nanosecond, 0.006,
+		21290*sim.Nanosecond, 8316*sim.Nanosecond)
+	r := m.Solve()
+	if r.BusUtilization < 0.08 || r.BusUtilization > 0.15 {
+		t.Errorf("single-processor utilization %v, want ~0.10-0.13", r.BusUtilization)
+	}
+}
+
+func TestMaxProcessorsPaperEstimate(t *testing.T) {
+	// With ~10% per-processor bus demand, roughly five processors fit
+	// before contention bites — the paper's Section 5.3 estimate.
+	base := FromMissModel(1, 344*sim.Nanosecond, 0.006,
+		21290*sim.Nanosecond, 8316*sim.Nanosecond)
+	n := MaxProcessors(base, 0.90, 32)
+	if n < 4 || n > 8 {
+		t.Errorf("max processors %d, want in the neighbourhood of 5", n)
+	}
+}
+
+func TestMaxProcessorsMonotoneInDemand(t *testing.T) {
+	light := Model{Think: 0.95, Serve: 0.05}
+	heavy := Model{Think: 0.7, Serve: 0.3}
+	nl := MaxProcessors(light, 0.9, 64)
+	nh := MaxProcessors(heavy, 0.9, 64)
+	if nl <= nh {
+		t.Errorf("lighter demand supports %d <= heavier %d", nl, nh)
+	}
+}
+
+func TestSolvePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero think time")
+		}
+	}()
+	Model{N: 1, Think: 0, Serve: 1}.Solve()
+}

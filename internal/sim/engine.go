@@ -1,0 +1,145 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock measured in nanoseconds and a
+// priority queue of events. Events scheduled for the same instant fire in
+// the order they were scheduled, so a simulation run is exactly
+// reproducible: the same inputs always produce the same event ordering.
+//
+// On top of the raw event queue, Process offers a coroutine abstraction:
+// each simulated actor (a CPU, a DMA device, a block copier) runs as a
+// goroutine that advances virtual time with Delay and synchronizes with
+// other actors through Signal and Semaphore. The engine resumes at most
+// one process at a time, so process code may read and write shared
+// simulation state without locks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Common durations, expressed in Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with a unit suffix chosen by magnitude.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds reports the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready
+// to use.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// procs counts live processes, used to detect leaked coroutines.
+	procs int
+}
+
+// NewEngine returns a new engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay d. A negative delay is an error in the
+// caller; Schedule panics to surface the bug immediately.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run processes events in order until the queue is empty or Stop is
+// called. It returns the final simulated time.
+func (e *Engine) Run() Time { return e.RunUntil(-1) }
+
+// RunUntil processes events until the queue is empty, Stop is called, or
+// the next event would fire after deadline (deadline < 0 means no
+// deadline). Events exactly at the deadline still fire. The clock is
+// advanced to the deadline if it is reached.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+	}
+	if deadline >= 0 && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

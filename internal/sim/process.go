@@ -1,0 +1,202 @@
+package sim
+
+// Process is a coroutine bound to an Engine. A process runs as a
+// goroutine, but the engine resumes at most one process at a time and a
+// process only gives up control at Delay, Pause, or wait points, so
+// process bodies may touch shared simulation state without locking.
+//
+// A process must not be resumed from two events at once; the engine's
+// single-threaded event loop guarantees this as long as user code only
+// wakes processes through the provided primitives (Delay, Signal,
+// Semaphore, Wake).
+type Process struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	dead   bool
+	// blocked is true while the process waits for an external wake
+	// (Signal/Semaphore/Pause) rather than a self-scheduled Delay.
+	blocked bool
+}
+
+// Spawn starts body as a new simulated process. The body begins executing
+// at the current simulated time, after already-queued events for this
+// instant. Spawn may be called both from outside Run and from within
+// event callbacks or other processes.
+func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
+	p := &Process{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.resume
+		body(p)
+		p.dead = true
+		p.eng.procs--
+		p.yield <- struct{}{}
+	}()
+	e.Schedule(0, p.step)
+	return p
+}
+
+// Live reports the number of processes that have been spawned and have
+// not yet returned. A nonzero value after Run completes usually means a
+// process is blocked forever (a simulation deadlock).
+func (e *Engine) Live() int { return e.procs }
+
+// Name returns the name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.now }
+
+// step transfers control into the process until its next yield. It is
+// the only way a process ever runs, so process execution is serialized
+// with all other events.
+func (p *Process) step() {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// switchOut returns control to the engine and blocks until the next
+// step call resumes the process.
+func (p *Process) switchOut() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Delay advances this process's local activity by d simulated time.
+// Other events and processes run in the meantime.
+func (p *Process) Delay(d Time) {
+	p.eng.Schedule(d, p.step)
+	p.switchOut()
+}
+
+// Pause blocks the process until something calls Wake. Use it to wait
+// for a condition managed by other simulation actors.
+func (p *Process) Pause() {
+	p.blocked = true
+	p.switchOut()
+}
+
+// Blocked reports whether the process is paused waiting for a Wake.
+func (p *Process) Blocked() bool { return p.blocked }
+
+// Wake schedules the process to resume at the current simulated time.
+// It must only be called while the process is paused via Pause (directly
+// or through Signal/Semaphore); waking a process that is not paused
+// corrupts the coroutine handshake.
+func (p *Process) Wake() {
+	if !p.blocked {
+		panic("sim: Wake of a process that is not paused: " + p.name)
+	}
+	p.blocked = false
+	p.eng.Schedule(0, p.step)
+}
+
+// Signal is a broadcast condition variable for processes. The zero
+// value is ready to use.
+type Signal struct {
+	waiters []*Process
+}
+
+// Wait pauses p until the next Broadcast or Pulse that includes it.
+func (s *Signal) Wait(p *Process) {
+	s.waiters = append(s.waiters, p)
+	p.Pause()
+}
+
+// Broadcast wakes every waiting process. The processes resume at the
+// current simulated time in the order they began waiting.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, p := range ws {
+		p.Wake()
+	}
+}
+
+// WaitTimeout waits on the signal for at most d, reporting whether the
+// signal (true) or the timeout (false) woke the process. The timeout
+// wake removes the process from the waiter list, so a later Broadcast
+// does not touch it.
+func (s *Signal) WaitTimeout(p *Process, d Time) bool {
+	done := false
+	signalled := true
+	p.eng.Schedule(d, func() {
+		if done {
+			return
+		}
+		for i, w := range s.waiters {
+			if w == p {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				signalled = false
+				p.Wake()
+				return
+			}
+		}
+	})
+	s.Wait(p)
+	done = true
+	return signalled
+}
+
+// Pulse wakes the longest-waiting process, if any, and reports whether
+// one was woken.
+func (s *Signal) Pulse() bool {
+	if len(s.waiters) == 0 {
+		return false
+	}
+	p := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	p.Wake()
+	return true
+}
+
+// Waiting reports the number of processes blocked on the signal.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Semaphore is a counting semaphore with FIFO wakeup. The zero value has
+// a count of zero.
+type Semaphore struct {
+	count   int
+	waiters []*Process
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{count: n} }
+
+// Acquire decrements the semaphore, pausing p until a unit is available.
+// Units are granted in FIFO order.
+func (s *Semaphore) Acquire(p *Process) {
+	if s.count > 0 && len(s.waiters) == 0 {
+		s.count--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.Pause()
+}
+
+// Release increments the semaphore, waking the longest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		p := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		p.Wake()
+		return
+	}
+	s.count++
+}
+
+// Available reports the current count (ignoring waiters).
+func (s *Semaphore) Available() int { return s.count }

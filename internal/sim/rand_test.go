@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%100) + 1
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRand(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.03 {
+		t.Errorf("exponential mean %v, want ~1", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(13)
+	const p = 0.25
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g := r.Geometric(p)
+		if g < 1 {
+			t.Fatalf("Geometric returned %d < 1", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-1/p) > 0.1 {
+		t.Errorf("geometric mean %v, want ~%v", mean, 1/p)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10; i++ {
+		if g := r.Geometric(1.0); g != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1", g)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n % 64)
+		p := NewRand(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRand(3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit rate %v", frac)
+	}
+}

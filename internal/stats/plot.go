@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is an ASCII line plot with multiple series, used to regenerate
+// the paper's figures in a terminal.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Add appends a series.
+func (p *Plot) Add(name string, x, y []float64) {
+	p.Series = append(p.Series, Series{Name: name, X: x, Y: y})
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range p.Series {
+		for i := range s.X {
+			points++
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return p.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Draw line segments between consecutive points.
+		for i := 0; i+1 < len(s.X); i++ {
+			x0, y0 := p.cell(s.X[i], s.Y[i], minX, maxX, minY, maxY, w, h)
+			x1, y1 := p.cell(s.X[i+1], s.Y[i+1], minX, maxX, minY, maxY, w, h)
+			drawLine(grid, x0, y0, x1, y1, mark)
+		}
+		if len(s.X) == 1 {
+			x0, y0 := p.cell(s.X[0], s.Y[0], minX, maxX, minY, maxY, w, h)
+			grid[y0][x0] = mark
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yHi := fmt.Sprintf("%.4g", maxY)
+	yLo := fmt.Sprintf("%.4g", minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yHi)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	xLo := fmt.Sprintf("%.4g", minX)
+	xHi := fmt.Sprintf("%.4g", maxX)
+	gap := w - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), xLo, strings.Repeat(" ", gap), xHi)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", margin), p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", margin), seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}
+
+// cell maps a data point to grid coordinates (row 0 = top).
+func (p *Plot) cell(x, y, minX, maxX, minY, maxY float64, w, h int) (cx, cy int) {
+	cx = int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+	cy = h - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(h-1)))
+	return clamp(cx, 0, w-1), clamp(cy, 0, h-1)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine draws a Bresenham segment.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, mark byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		grid[y0][x0] = mark
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

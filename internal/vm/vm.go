@@ -1,0 +1,641 @@
+// Package vm implements VMP's virtual memory: address spaces identified
+// by ASIDs, two-level page tables stored in memory pages, demand-zero
+// page faulting with a simple page-out daemon, and the bookkeeping the
+// cache-management software needs for translation consistency
+// (Section 3.4 of the paper).
+//
+// Layout decisions mirror the paper's memory map:
+//
+//   - User addresses (below KernelBase) translate through a per-ASID
+//     two-level table: a root (L1) page holding 1024 entries, each
+//     pointing to an L2 page of 1024 PTEs mapping 4 MB.
+//   - Kernel addresses (KernelBase and up) translate through a single
+//     global table shared by all address spaces — "the kernel space is
+//     part of each user virtual space". The cache still tags kernel
+//     pages per ASID (that is what the hardware does); only the
+//     translation is shared, so all ASIDs reach the same frames.
+//   - L2 page-table pages are themselves mapped at PTSpaceBase in
+//     kernel space, one after another, so the miss handler reaches them
+//     *through the cache* and a user miss can recursively miss on its
+//     page table — but the PT-space translation itself is kept in local
+//     memory (a bounded map), so the recursion depth is exactly one.
+//     Root tables are accessed uncached, modeling the paper's "minimum
+//     amount of page table information in local memory or non-cached
+//     global memory".
+//
+// The package performs no timing: the core charges cycles for each step
+// of the Walk it returns.
+package vm
+
+import (
+	"fmt"
+
+	"vmp/internal/memory"
+)
+
+// Address-space layout constants.
+const (
+	// KernelBase is the start of the kernel virtual region shared by
+	// every address space.
+	KernelBase uint32 = 0xc000_0000
+	// PTSpaceBase is the kernel-space region where L2 page-table pages
+	// are mapped back-to-back.
+	PTSpaceBase uint32 = 0xe000_0000
+)
+
+// PageSize is the virtual-memory page size. Cache pages (128-512 B) are
+// portions of a VM page, as in the paper.
+const PageSize = 4096
+
+const (
+	l1Shift = 22 // top 10 bits
+	l2Shift = 12 // next 10 bits
+	l2Mask  = 0x3ff
+	// entriesPerTable entries of 4 bytes fill exactly one VM page.
+	entriesPerTable = PageSize / 4
+)
+
+// PTE is a page-table entry: a frame number plus flag bits.
+type PTE uint32
+
+// PTE flag bits (low bits; the VM frame number lives in the high 20).
+const (
+	Present    PTE = 1 << 0
+	Writable   PTE = 1 << 1
+	Supervisor PTE = 1 << 2 // accessible only in supervisor mode
+	Referenced PTE = 1 << 3
+	Modified   PTE = 1 << 4
+)
+
+// NewPTE builds an entry pointing at VM frame vf with the given flags.
+func NewPTE(vf uint32, flags PTE) PTE { return PTE(vf<<12) | flags&0xfff }
+
+// Frame returns the VM frame number (in PageSize units).
+func (p PTE) Frame() uint32 { return uint32(p) >> 12 }
+
+// Has reports whether all given flag bits are set.
+func (p PTE) Has(f PTE) bool { return p&f == f }
+
+// Fault describes a translation failure.
+type Fault struct {
+	VAddr uint32
+	ASID  uint8
+	Level int  // 1: no L2 table; 2: page not present
+	Write bool // protection fault on write
+	Prot  bool // protection violation rather than non-residence
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "not-present"
+	if f.Prot {
+		kind = "protection"
+	}
+	return fmt.Sprintf("vm: %s fault asid=%d vaddr=%#x level=%d", kind, f.ASID, f.VAddr, f.Level)
+}
+
+// Walk records every step of a successful translation so the caller can
+// charge the right costs: the root entry is read uncached; the L2 entry
+// is read through the cache at L2VAddr.
+type Walk struct {
+	L1PAddr uint32 // physical address of the root entry (uncached access)
+	L2VAddr uint32 // kernel virtual address of the L2 entry (cached access)
+	L2PAddr uint32 // physical address of the L2 entry
+	PTE     PTE    // the final entry
+	PAddr   uint32 // translated physical address of the original vaddr
+	Kernel  bool   // translated via the shared kernel table
+}
+
+// space is one address space's root table.
+type space struct {
+	asid      uint8
+	rootFrame uint32 // VM frame of the L1 table
+}
+
+// VM manages all address spaces over a Memory. Create with New.
+type VM struct {
+	mem *memory.Memory
+	// vmFrame bookkeeping: VM pages are PageSize-aligned groups of
+	// cache page frames; we track allocation in PageSize units.
+	spaces map[uint8]*space
+	kernel *space // pseudo-space for the shared kernel region
+
+	// ptSpace maps an L2-table VM frame to the PT-space virtual address
+	// where it is mapped (and the reverse); kept in "local memory".
+	ptVAByFrame map[uint32]uint32
+	ptFrameByVA map[uint32]uint32
+	nextPTSlot  uint32
+
+	// resident tracks mapped VM frames for the page-out daemon:
+	// (asid, vpn) per frame, in allocation order (FIFO reclaim).
+	resident []residentPage
+
+	// swap is the backing store: contents of reclaimed pages, keyed by
+	// (asid, page base), restored on the next fault.
+	swap map[uint64][]byte
+
+	stats Stats
+}
+
+type residentPage struct {
+	asid  uint8 // 0xff means kernel
+	vaddr uint32
+	frame uint32
+}
+
+// Stats counts VM events.
+type Stats struct {
+	Faults      uint64 // page faults served (demand-zero or swap-in)
+	TableFaults uint64 // L2 tables allocated
+	Reclaims    uint64 // pages evicted by the page-out daemon
+	SwapOuts    uint64 // reclaimed pages written to the backing store
+	SwapIns     uint64 // faults served from the backing store
+}
+
+// New creates a VM over mem. Memory's cache-page size must divide
+// PageSize.
+func New(mem *memory.Memory) *VM {
+	if PageSize%mem.PageSize() != 0 {
+		panic("vm: cache page size does not divide VM page size")
+	}
+	v := &VM{
+		mem:         mem,
+		spaces:      make(map[uint8]*space),
+		ptVAByFrame: make(map[uint32]uint32),
+		ptFrameByVA: make(map[uint32]uint32),
+		swap:        make(map[uint64][]byte),
+	}
+	kf, ok := v.allocVMFrame()
+	if !ok {
+		panic("vm: cannot allocate kernel root table")
+	}
+	v.kernel = &space{asid: 0xff, rootFrame: kf}
+	return v
+}
+
+// Stats returns a copy of the counters.
+func (v *VM) Stats() Stats { return v.stats }
+
+// framesPerPage returns cache-page frames per VM page.
+func (v *VM) framesPerPage() int { return PageSize / v.mem.PageSize() }
+
+// allocVMFrame allocates PageSize worth of contiguous cache-page
+// frames and returns the VM frame number (paddr/PageSize). Because the
+// memory allocator hands out frames in order and we always allocate in
+// VM-page groups, contiguity holds; the code verifies it.
+func (v *VM) allocVMFrame() (uint32, bool) {
+	n := v.framesPerPage()
+	first, ok := v.mem.AllocFrame()
+	if !ok {
+		return 0, false
+	}
+	for i := 1; i < n; i++ {
+		f, ok := v.mem.AllocFrame()
+		if !ok || f != first+uint32(i) {
+			panic("vm: main memory fragmented at VM page granularity")
+		}
+	}
+	return first / uint32(n), true
+}
+
+func (v *VM) freeVMFrame(vf uint32) {
+	// Free in reverse so the allocator's LIFO free list hands the
+	// frames back lowest-first, preserving VM-page contiguity.
+	n := uint32(v.framesPerPage())
+	for i := n; i > 0; i-- {
+		v.mem.FreeFrame(vf*n + i - 1)
+	}
+}
+
+// vmFramePAddr returns the physical byte address of a VM frame.
+func vmFramePAddr(vf uint32) uint32 { return vf * PageSize }
+
+// swapKey identifies one virtual page in the backing store.
+func swapKey(asid uint8, base uint32) uint64 { return uint64(asid)<<32 | uint64(base) }
+
+// CreateSpace registers a new address space. ASID 0xff is reserved for
+// the kernel pseudo-space.
+func (v *VM) CreateSpace(asid uint8) error {
+	if asid == 0xff {
+		return fmt.Errorf("vm: asid 0xff is reserved")
+	}
+	if _, ok := v.spaces[asid]; ok {
+		return fmt.Errorf("vm: asid %d already exists", asid)
+	}
+	rf, ok := v.allocVMFrame()
+	if !ok {
+		return fmt.Errorf("vm: out of memory for root table")
+	}
+	v.spaces[asid] = &space{asid: asid, rootFrame: rf}
+	return nil
+}
+
+// Spaces returns the ASIDs of all live address spaces in creation
+// order-independent form (sorted not guaranteed; callers sort).
+func (v *VM) Spaces() []uint8 {
+	out := make([]uint8, 0, len(v.spaces))
+	for a := range v.spaces {
+		out = append(out, a)
+	}
+	return out
+}
+
+// spaceFor picks the translating space: the shared kernel table for
+// kernel addresses, the per-ASID table otherwise.
+func (v *VM) spaceFor(asid uint8, vaddr uint32) (*space, error) {
+	if vaddr >= KernelBase {
+		return v.kernel, nil
+	}
+	sp, ok := v.spaces[asid]
+	if !ok {
+		return nil, fmt.Errorf("vm: no address space %d", asid)
+	}
+	return sp, nil
+}
+
+// entryAddrs returns the physical address of the L1 entry and, if the
+// L2 table exists, the physical and PT-space virtual addresses of the
+// L2 entry.
+func (v *VM) entryAddrs(sp *space, vaddr uint32) (l1PAddr uint32, l1 PTE) {
+	l1Index := vaddr >> l1Shift
+	l1PAddr = vmFramePAddr(sp.rootFrame) + l1Index*4
+	l1 = PTE(v.mem.ReadWord(l1PAddr))
+	return l1PAddr, l1
+}
+
+// Translate walks the tables for (asid, vaddr). It returns a *Fault if
+// the L2 table or the page is not present, or on a protection
+// violation. It does not allocate anything: faults are served by
+// HandleFault (the operating system's page-fault handler).
+//
+// PT-space addresses translate from the bounded local-memory map
+// directly, never recursively.
+func (v *VM) Translate(asid uint8, vaddr uint32, write, super bool) (Walk, error) {
+	if vaddr >= PTSpaceBase {
+		return v.translatePTSpace(asid, vaddr, write, super)
+	}
+	sp, err := v.spaceFor(asid, vaddr)
+	if err != nil {
+		return Walk{}, err
+	}
+	l1PAddr, l1 := v.entryAddrs(sp, vaddr)
+	if !l1.Has(Present) {
+		return Walk{}, &Fault{VAddr: vaddr, ASID: asid, Level: 1, Write: write}
+	}
+	l2Frame := l1.Frame()
+	l2Index := (vaddr >> l2Shift) & l2Mask
+	l2PAddr := vmFramePAddr(l2Frame) + l2Index*4
+	l2VAddr, ok := v.ptVAByFrame[l2Frame]
+	if !ok {
+		panic("vm: L2 table not mapped in PT space")
+	}
+	pte := PTE(v.mem.ReadWord(l2PAddr))
+	w := Walk{
+		L1PAddr: l1PAddr,
+		L2VAddr: l2VAddr + l2Index*4,
+		L2PAddr: l2PAddr,
+		PTE:     pte,
+		Kernel:  vaddr >= KernelBase,
+	}
+	if !pte.Has(Present) {
+		return w, &Fault{VAddr: vaddr, ASID: asid, Level: 2, Write: write}
+	}
+	if pte.Has(Supervisor) && !super {
+		return w, &Fault{VAddr: vaddr, ASID: asid, Level: 2, Write: write, Prot: true}
+	}
+	if write && !pte.Has(Writable) {
+		return w, &Fault{VAddr: vaddr, ASID: asid, Level: 2, Write: true, Prot: true}
+	}
+	w.PAddr = vmFramePAddr(pte.Frame()) + vaddr%PageSize
+	return w, nil
+}
+
+// translatePTSpace serves the direct-mapped page-table region from the
+// local-memory map.
+func (v *VM) translatePTSpace(asid uint8, vaddr uint32, write, super bool) (Walk, error) {
+	if !super {
+		return Walk{}, &Fault{VAddr: vaddr, ASID: asid, Level: 2, Write: write, Prot: true}
+	}
+	base := vaddr &^ uint32(PageSize-1)
+	frame, ok := v.ptFrameByVA[base]
+	if !ok {
+		return Walk{}, &Fault{VAddr: vaddr, ASID: asid, Level: 2, Write: write}
+	}
+	return Walk{
+		PTE:    NewPTE(frame, Present|Writable|Supervisor),
+		PAddr:  vmFramePAddr(frame) + vaddr%PageSize,
+		Kernel: true,
+	}, nil
+}
+
+// PagePolicy decides the PTE permission flags for a newly faulted page.
+type PagePolicy func(asid uint8, vaddr uint32) PTE
+
+// DefaultPolicy gives kernel-region pages supervisor-writable mappings
+// and user pages user-writable ones.
+func DefaultPolicy(asid uint8, vaddr uint32) PTE {
+	if vaddr >= KernelBase {
+		return Writable | Supervisor
+	}
+	return Writable
+}
+
+// HandleFault serves a page fault: demand-zero allocation of the page
+// (and of the L2 table if needed). If memory is exhausted the page-out
+// daemon reclaims the oldest resident page and the caller is told which
+// frame was reclaimed so it can flush caches (assert-ownership). The
+// returned Walk is the successful translation after the fault.
+type FaultResult struct {
+	Walk Walk
+	// Reclaimed lists VM frames taken from other pages to serve this
+	// fault. The core must flush them from all caches before reuse.
+	Reclaimed []ReclaimedPage
+	// SwappedIn reports that the page's contents came from the backing
+	// store rather than demand-zero (a slower fault in a real system).
+	SwappedIn bool
+}
+
+// ReclaimedPage identifies a page evicted by the page-out daemon.
+type ReclaimedPage struct {
+	ASID  uint8
+	VAddr uint32
+	Frame uint32 // VM frame number that was freed and reused
+}
+
+// HandleFault resolves a non-protection fault. Protection faults cannot
+// be "handled"; they are program errors surfaced to the OS layer.
+func (v *VM) HandleFault(asid uint8, vaddr uint32, write, super bool, policy PagePolicy) (FaultResult, error) {
+	if policy == nil {
+		policy = DefaultPolicy
+	}
+	var res FaultResult
+	sp, err := v.spaceFor(asid, vaddr)
+	if err != nil {
+		return res, err
+	}
+	if vaddr >= PTSpaceBase {
+		return res, fmt.Errorf("vm: fault in PT space at %#x", vaddr)
+	}
+
+	l1PAddr, l1 := v.entryAddrs(sp, vaddr)
+	if !l1.Has(Present) {
+		tf, ok := v.allocVMFrameReclaiming(&res)
+		if !ok {
+			return res, fmt.Errorf("vm: out of memory for L2 table")
+		}
+		v.stats.TableFaults++
+		v.mem.WriteWord(l1PAddr, uint32(NewPTE(tf, Present|Writable|Supervisor)))
+		v.mapPTSpace(tf)
+		l1 = PTE(v.mem.ReadWord(l1PAddr))
+	}
+
+	l2Frame := l1.Frame()
+	l2Index := (vaddr >> l2Shift) & l2Mask
+	l2PAddr := vmFramePAddr(l2Frame) + l2Index*4
+	pte := PTE(v.mem.ReadWord(l2PAddr))
+	if !pte.Has(Present) {
+		pf, ok := v.allocVMFrameReclaiming(&res)
+		if !ok {
+			return res, fmt.Errorf("vm: out of memory for page")
+		}
+		v.stats.Faults++
+		base := vaddr &^ uint32(PageSize-1)
+		// Page-in from the backing store if this page was reclaimed
+		// earlier; otherwise it stays demand-zero.
+		if data, ok := v.swap[swapKey(sp.asid, base)]; ok {
+			v.mem.WriteBlock(vmFramePAddr(pf), data)
+			delete(v.swap, swapKey(sp.asid, base))
+			v.stats.SwapIns++
+			res.SwappedIn = true
+		}
+		pte = NewPTE(pf, Present|Referenced|policy(asid, vaddr))
+		v.mem.WriteWord(l2PAddr, uint32(pte))
+		v.resident = append(v.resident, residentPage{
+			asid: sp.asid, vaddr: base, frame: pf,
+		})
+	}
+
+	w, err := v.Translate(asid, vaddr, write, super)
+	if err != nil {
+		return res, fmt.Errorf("vm: translation still faulting after HandleFault: %w", err)
+	}
+	res.Walk = w
+	return res, nil
+}
+
+// allocVMFrameReclaiming allocates a VM frame, evicting the oldest
+// resident data page if memory is full. Page-table pages are never
+// evicted.
+func (v *VM) allocVMFrameReclaiming(res *FaultResult) (uint32, bool) {
+	if vf, ok := v.allocVMFrame(); ok {
+		return vf, true
+	}
+	for len(v.resident) > 0 {
+		victim := v.resident[0]
+		v.resident = v.resident[1:]
+		if !v.unmapResident(victim) {
+			continue // already unmapped by other means
+		}
+		v.stats.Reclaims++
+		// Save the page contents to the backing store before the frame
+		// is reused (a real page-out daemon's disk write).
+		v.swap[swapKey(victim.asid, victim.vaddr)] = v.mem.ReadBlock(vmFramePAddr(victim.frame), PageSize)
+		v.stats.SwapOuts++
+		res.Reclaimed = append(res.Reclaimed, ReclaimedPage{
+			ASID: victim.asid, VAddr: victim.vaddr, Frame: victim.frame,
+		})
+		v.freeVMFrame(victim.frame)
+		return v.allocVMFrame()
+	}
+	return 0, false
+}
+
+// unmapResident clears the PTE for a resident page; reports false if it
+// was no longer mapped to that frame.
+func (v *VM) unmapResident(r residentPage) bool {
+	var sp *space
+	if r.asid == 0xff {
+		sp = v.kernel
+	} else {
+		var ok bool
+		sp, ok = v.spaces[r.asid]
+		if !ok {
+			return false
+		}
+	}
+	_, l1 := v.entryAddrs(sp, r.vaddr)
+	if !l1.Has(Present) {
+		return false
+	}
+	l2PAddr := vmFramePAddr(l1.Frame()) + ((r.vaddr>>l2Shift)&l2Mask)*4
+	pte := PTE(v.mem.ReadWord(l2PAddr))
+	if !pte.Has(Present) || pte.Frame() != r.frame {
+		return false
+	}
+	v.mem.WriteWord(l2PAddr, 0)
+	return true
+}
+
+// mapPTSpace assigns the next PT-space slot to an L2 table frame.
+func (v *VM) mapPTSpace(frame uint32) {
+	va := PTSpaceBase + v.nextPTSlot*PageSize
+	v.nextPTSlot++
+	v.ptVAByFrame[frame] = va
+	v.ptFrameByVA[va] = frame
+}
+
+// Remap changes the mapping of (asid, vaddr)'s page to a new frame,
+// returning the old PTE and the physical address of the L2 entry that
+// changed (the core issues the Section 3.4 consistency transactions:
+// read-private on the page-table cache page, assert-ownership on the
+// old physical page). A zero newPTE unmaps the page.
+func (v *VM) Remap(asid uint8, vaddr uint32, newPTE PTE) (old PTE, l2PAddr uint32, err error) {
+	sp, err := v.spaceFor(asid, vaddr)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, l1 := v.entryAddrs(sp, vaddr)
+	if !l1.Has(Present) {
+		return 0, 0, fmt.Errorf("vm: remap of unmapped region %#x", vaddr)
+	}
+	l2PAddr = vmFramePAddr(l1.Frame()) + ((vaddr>>l2Shift)&l2Mask)*4
+	old = PTE(v.mem.ReadWord(l2PAddr))
+	v.mem.WriteWord(l2PAddr, uint32(newPTE))
+	return old, l2PAddr, nil
+}
+
+// DestroySpace tears down an address space, freeing its pages and
+// tables. It returns the VM frames that were mapped, so the core can
+// assert-ownership each one out of all caches (Section 3.4's "deletion
+// of an address space").
+func (v *VM) DestroySpace(asid uint8) ([]uint32, error) {
+	sp, ok := v.spaces[asid]
+	if !ok {
+		return nil, fmt.Errorf("vm: no address space %d", asid)
+	}
+	var freed []uint32
+	rootPA := vmFramePAddr(sp.rootFrame)
+	for i := uint32(0); i < entriesPerTable; i++ {
+		l1 := PTE(v.mem.ReadWord(rootPA + i*4))
+		if !l1.Has(Present) {
+			continue
+		}
+		l2Frame := l1.Frame()
+		l2PA := vmFramePAddr(l2Frame)
+		for j := uint32(0); j < entriesPerTable; j++ {
+			pte := PTE(v.mem.ReadWord(l2PA + j*4))
+			if pte.Has(Present) {
+				freed = append(freed, pte.Frame())
+				v.freeVMFrame(pte.Frame())
+			}
+		}
+		// Unmap and free the L2 table itself.
+		if va, ok := v.ptVAByFrame[l2Frame]; ok {
+			delete(v.ptVAByFrame, l2Frame)
+			delete(v.ptFrameByVA, va)
+		}
+		freed = append(freed, l2Frame)
+		v.freeVMFrame(l2Frame)
+	}
+	v.freeVMFrame(sp.rootFrame)
+	delete(v.spaces, asid)
+	// Drop resident-list entries and swapped pages for this space.
+	kept := v.resident[:0]
+	for _, r := range v.resident {
+		if r.asid != asid {
+			kept = append(kept, r)
+		}
+	}
+	v.resident = kept
+	for k := range v.swap {
+		if uint8(k>>32) == asid {
+			delete(v.swap, k)
+		}
+	}
+	return freed, nil
+}
+
+// SetReferenced sets the Referenced bit on the page mapping vaddr.
+func (v *VM) SetReferenced(asid uint8, vaddr uint32) {
+	v.setBit(asid, vaddr, Referenced)
+}
+
+// SetModified sets the Modified (and Referenced) bits on the page
+// mapping vaddr.
+func (v *VM) SetModified(asid uint8, vaddr uint32) {
+	v.setBit(asid, vaddr, Modified|Referenced)
+}
+
+func (v *VM) setBit(asid uint8, vaddr uint32, bits PTE) {
+	sp, err := v.spaceFor(asid, vaddr)
+	if err != nil {
+		return
+	}
+	_, l1 := v.entryAddrs(sp, vaddr)
+	if !l1.Has(Present) {
+		return
+	}
+	l2PAddr := vmFramePAddr(l1.Frame()) + ((vaddr>>l2Shift)&l2Mask)*4
+	pte := PTE(v.mem.ReadWord(l2PAddr))
+	if pte.Has(Present) {
+		v.mem.WriteWord(l2PAddr, uint32(pte|bits))
+	}
+}
+
+// Resident returns the number of resident data pages.
+func (v *VM) Resident() int { return len(v.resident) }
+
+// Swapped returns the number of pages in the backing store.
+func (v *VM) Swapped() int { return len(v.swap) }
+
+// ResidentPage describes one resident data page for the page-out
+// daemon's scan.
+type ResidentPage struct {
+	ASID  uint8 // 0xff for kernel pages
+	VAddr uint32
+	Frame uint32
+}
+
+// ResidentPages lists the resident data pages in allocation order.
+func (v *VM) ResidentPages() []ResidentPage {
+	out := make([]ResidentPage, 0, len(v.resident))
+	for _, r := range v.resident {
+		out = append(out, ResidentPage{ASID: r.asid, VAddr: r.vaddr, Frame: r.frame})
+	}
+	return out
+}
+
+// ClearReferenced clears the Referenced bit on the page mapping vaddr
+// (the page-out daemon's aging step). ASID 0xff addresses the kernel
+// pseudo-space.
+func (v *VM) ClearReferenced(asid uint8, vaddr uint32) {
+	var sp *space
+	if asid == 0xff {
+		sp = v.kernel
+	} else {
+		var ok bool
+		sp, ok = v.spaces[asid]
+		if !ok {
+			return
+		}
+	}
+	_, l1 := v.entryAddrs(sp, vaddr)
+	if !l1.Has(Present) {
+		return
+	}
+	l2PAddr := vmFramePAddr(l1.Frame()) + ((vaddr>>l2Shift)&l2Mask)*4
+	pte := PTE(v.mem.ReadWord(l2PAddr))
+	if pte.Has(Present) {
+		v.mem.WriteWord(l2PAddr, uint32(pte&^Referenced))
+	}
+}
+
+// Referenced reports the Referenced bit of the page mapping vaddr.
+func (v *VM) Referenced(asid uint8, vaddr uint32) bool {
+	super := vaddr >= KernelBase
+	w, err := v.Translate(asid, vaddr, false, super)
+	if err != nil {
+		return false
+	}
+	return w.PTE.Has(Referenced)
+}

@@ -1,0 +1,398 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"vmp/internal/memory"
+)
+
+func newVM(t *testing.T, memSize int) *VM {
+	t.Helper()
+	return New(memory.New(memSize, 256))
+}
+
+func TestPTEBits(t *testing.T) {
+	p := NewPTE(0x123, Present|Writable)
+	if p.Frame() != 0x123 {
+		t.Errorf("Frame = %#x", p.Frame())
+	}
+	if !p.Has(Present) || !p.Has(Writable) || p.Has(Supervisor) {
+		t.Errorf("flags wrong: %#x", uint32(p))
+	}
+}
+
+func TestPTEFrameFlagIndependence(t *testing.T) {
+	f := func(frame uint32, flags uint16) bool {
+		fr := frame & 0xfffff
+		fl := PTE(flags) & 0xfff
+		p := NewPTE(fr, fl)
+		return p.Frame() == fr && p&0xfff == fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemandZeroFault(t *testing.T) {
+	v := newVM(t, 4<<20)
+	if err := v.CreateSpace(1); err != nil {
+		t.Fatal(err)
+	}
+	// Unmapped: translate faults at level 1 (no L2 table yet).
+	_, err := v.Translate(1, 0x1000, false, false)
+	var f *Fault
+	if !errors.As(err, &f) || f.Level != 1 {
+		t.Fatalf("expected level-1 fault, got %v", err)
+	}
+	res, err := v.HandleFault(1, 0x1000, false, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reclaimed) != 0 {
+		t.Error("unexpected reclaim")
+	}
+	w, err := v.Translate(1, 0x1000, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PAddr%PageSize != 0x1000%PageSize {
+		t.Errorf("offset not preserved: %#x", w.PAddr)
+	}
+	if !w.PTE.Has(Present | Writable | Referenced) {
+		t.Errorf("PTE flags %#x", uint32(w.PTE))
+	}
+	st := v.Stats()
+	if st.Faults != 1 || st.TableFaults != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSecondFaultSameRegionSkipsTableAlloc(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	v.HandleFault(1, 0x1000, false, false, nil)
+	v.HandleFault(1, 0x2000, false, false, nil)
+	st := v.Stats()
+	if st.TableFaults != 1 {
+		t.Errorf("table faults %d, want 1 (same 4MB region)", st.TableFaults)
+	}
+	if st.Faults != 2 {
+		t.Errorf("page faults %d", st.Faults)
+	}
+	// The two pages map to distinct frames.
+	w1, _ := v.Translate(1, 0x1000, false, false)
+	w2, _ := v.Translate(1, 0x2000, false, false)
+	if w1.PTE.Frame() == w2.PTE.Frame() {
+		t.Error("two pages share a frame")
+	}
+}
+
+func TestTranslateOffsetsProperty(t *testing.T) {
+	v := newVM(t, 8<<20)
+	v.CreateSpace(1)
+	f := func(off uint16) bool {
+		vaddr := 0x0040_0000 + uint32(off)
+		if _, err := v.HandleFault(1, vaddr, false, false, nil); err != nil {
+			return false
+		}
+		w, err := v.Translate(1, vaddr, false, false)
+		if err != nil {
+			return false
+		}
+		return w.PAddr%PageSize == vaddr%PageSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASIDIsolation(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	v.CreateSpace(2)
+	v.HandleFault(1, 0x5000, true, false, nil)
+	v.HandleFault(2, 0x5000, true, false, nil)
+	w1, _ := v.Translate(1, 0x5000, false, false)
+	w2, _ := v.Translate(2, 0x5000, false, false)
+	if w1.PAddr == w2.PAddr {
+		t.Error("same vaddr in different spaces mapped to one frame")
+	}
+}
+
+func TestKernelRegionShared(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	v.CreateSpace(2)
+	kaddr := KernelBase + 0x4000
+	if _, err := v.HandleFault(1, kaddr, false, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	w1, err := v.Translate(1, kaddr, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ASID 2 sees the same kernel page with no further fault.
+	w2, err := v.Translate(2, kaddr, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.PAddr != w2.PAddr {
+		t.Error("kernel region not shared across spaces")
+	}
+	if !w1.Kernel {
+		t.Error("Walk.Kernel not set")
+	}
+}
+
+func TestKernelSupervisorOnly(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	kaddr := KernelBase + 0x8000
+	v.HandleFault(1, kaddr, false, true, nil)
+	_, err := v.Translate(1, kaddr, false, false)
+	var f *Fault
+	if !errors.As(err, &f) || !f.Prot {
+		t.Errorf("user access to kernel page: %v", err)
+	}
+}
+
+func TestWriteProtection(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	readOnly := func(asid uint8, vaddr uint32) PTE { return 0 } // no Writable
+	v.HandleFault(1, 0x9000, false, false, readOnly)
+	if _, err := v.Translate(1, 0x9000, false, false); err != nil {
+		t.Errorf("read of read-only page: %v", err)
+	}
+	_, err := v.Translate(1, 0x9000, true, false)
+	var f *Fault
+	if !errors.As(err, &f) || !f.Prot || !f.Write {
+		t.Errorf("write of read-only page: %v", err)
+	}
+}
+
+func TestWalkExposesTableAddresses(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	v.HandleFault(1, 0x1000, false, false, nil)
+	w, err := v.Translate(1, 0x1000, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.L2VAddr < PTSpaceBase {
+		t.Errorf("L2 entry VA %#x not in PT space", w.L2VAddr)
+	}
+	// The L2 entry must be readable through the PT-space mapping: its
+	// physical translation equals L2PAddr.
+	wp, err := v.Translate(1, w.L2VAddr, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.PAddr != w.L2PAddr {
+		t.Errorf("PT-space mapping: %#x != %#x", wp.PAddr, w.L2PAddr)
+	}
+}
+
+func TestPTSpaceUserAccessDenied(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	v.HandleFault(1, 0x1000, false, false, nil)
+	w, _ := v.Translate(1, 0x1000, false, false)
+	_, err := v.Translate(1, w.L2VAddr, false, false)
+	var f *Fault
+	if !errors.As(err, &f) || !f.Prot {
+		t.Errorf("user access to PT space: %v", err)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	v.HandleFault(1, 0xa000, true, false, nil)
+	w, _ := v.Translate(1, 0xa000, false, false)
+	oldFrame := w.PTE.Frame()
+
+	old, l2PAddr, err := v.Remap(1, 0xa000, NewPTE(oldFrame+1, Present|Writable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Frame() != oldFrame {
+		t.Errorf("old PTE frame %d, want %d", old.Frame(), oldFrame)
+	}
+	if l2PAddr != w.L2PAddr {
+		t.Errorf("L2 entry address %#x, want %#x", l2PAddr, w.L2PAddr)
+	}
+	w2, err := v.Translate(1, 0xa000, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.PTE.Frame() != oldFrame+1 {
+		t.Errorf("remapped frame %d", w2.PTE.Frame())
+	}
+
+	// Unmap: translation faults again.
+	if _, _, err := v.Remap(1, 0xa000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Translate(1, 0xa000, false, false); err == nil {
+		t.Error("translate succeeded after unmap")
+	}
+}
+
+func TestReclaimWhenMemoryFull(t *testing.T) {
+	// Tiny memory: 64KB = 16 VM pages. Kernel root + space root +
+	// 1 L2 table leave 13 for data.
+	v := newVM(t, 64<<10)
+	v.CreateSpace(1)
+	var faulted []uint32
+	for i := uint32(0); i < 20; i++ {
+		vaddr := 0x10_0000 + i*PageSize
+		res, err := v.HandleFault(1, vaddr, true, false, nil)
+		if err != nil {
+			t.Fatalf("fault %d: %v", i, err)
+		}
+		faulted = append(faulted, vaddr)
+		if i < 12 && len(res.Reclaimed) != 0 {
+			t.Errorf("fault %d reclaimed early", i)
+		}
+	}
+	if v.Stats().Reclaims == 0 {
+		t.Fatal("no reclaims despite memory pressure")
+	}
+	// The most recent page is resident; the oldest was evicted.
+	if _, err := v.Translate(1, faulted[len(faulted)-1], false, false); err != nil {
+		t.Errorf("newest page not resident: %v", err)
+	}
+	if _, err := v.Translate(1, faulted[0], false, false); err == nil {
+		t.Error("oldest page still resident after reclaim")
+	}
+}
+
+func TestDestroySpace(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	v.HandleFault(1, 0x1000, true, false, nil)
+	v.HandleFault(1, 0x2000, true, false, nil)
+	before := v.Resident()
+	freed, err := v.DestroySpace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 data pages + 1 L2 table.
+	if len(freed) != 3 {
+		t.Errorf("freed %d frames, want 3", len(freed))
+	}
+	if v.Resident() != before-2 {
+		t.Errorf("resident count %d", v.Resident())
+	}
+	if _, err := v.Translate(1, 0x1000, false, false); err == nil {
+		t.Error("translate in destroyed space succeeded")
+	}
+	if err := v.CreateSpace(1); err != nil {
+		t.Errorf("recreate destroyed space: %v", err)
+	}
+}
+
+func TestCreateSpaceErrors(t *testing.T) {
+	v := newVM(t, 4<<20)
+	if err := v.CreateSpace(0xff); err == nil {
+		t.Error("reserved asid accepted")
+	}
+	v.CreateSpace(1)
+	if err := v.CreateSpace(1); err == nil {
+		t.Error("duplicate asid accepted")
+	}
+	if _, err := v.DestroySpace(9); err == nil {
+		t.Error("destroy of unknown space succeeded")
+	}
+}
+
+func TestReferencedModifiedBits(t *testing.T) {
+	v := newVM(t, 4<<20)
+	v.CreateSpace(1)
+	// Policy without Referenced so we can observe SetReferenced.
+	v.HandleFault(1, 0xb000, false, false, func(uint8, uint32) PTE { return Writable })
+	v.SetModified(1, 0xb000)
+	w, _ := v.Translate(1, 0xb000, false, false)
+	if !w.PTE.Has(Modified | Referenced) {
+		t.Errorf("bits not set: %#x", uint32(w.PTE))
+	}
+	// Setting bits on unmapped pages is a no-op, not a crash.
+	v.SetReferenced(1, 0xdead0000)
+	v.SetReferenced(42, 0x1000)
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{VAddr: 0x1234, ASID: 3, Level: 2, Prot: true}
+	if f.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestTranslateUnknownASID(t *testing.T) {
+	v := newVM(t, 4<<20)
+	if _, err := v.Translate(7, 0x1000, false, false); err == nil {
+		t.Error("unknown asid translated")
+	}
+}
+
+func TestSwapPreservesData(t *testing.T) {
+	// 64KB memory: heavy pressure forces reclaim; reclaimed pages must
+	// come back with their contents from the backing store.
+	v := newVM(t, 64<<10)
+	v.CreateSpace(1)
+	const pages = 24
+	for i := uint32(0); i < pages; i++ {
+		vaddr := 0x10_0000 + i*PageSize
+		if _, err := v.HandleFault(1, vaddr, true, false, nil); err != nil {
+			t.Fatalf("fault %d: %v", i, err)
+		}
+		w, err := v.Translate(1, vaddr, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.mem.WriteWord(w.PAddr, 0xbeef0000+i)
+	}
+	st := v.Stats()
+	if st.Reclaims == 0 || st.SwapOuts == 0 {
+		t.Fatalf("no paging activity: %+v", st)
+	}
+	// Re-touch every page: swapped ones must restore their word.
+	for i := uint32(0); i < pages; i++ {
+		vaddr := 0x10_0000 + i*PageSize
+		if _, err := v.Translate(1, vaddr, false, false); err != nil {
+			if _, err := v.HandleFault(1, vaddr, false, false, nil); err != nil {
+				t.Fatalf("refault %d: %v", i, err)
+			}
+		}
+		w, err := v.Translate(1, vaddr, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.mem.ReadWord(w.PAddr); got != 0xbeef0000+i {
+			t.Errorf("page %d lost data: %#x", i, got)
+		}
+	}
+	if v.Stats().SwapIns == 0 {
+		t.Error("no swap-ins recorded")
+	}
+}
+
+func TestSwapDroppedOnDestroy(t *testing.T) {
+	v := newVM(t, 64<<10)
+	v.CreateSpace(1)
+	for i := uint32(0); i < 24; i++ {
+		v.HandleFault(1, 0x10_0000+i*PageSize, true, false, nil)
+	}
+	if v.Swapped() == 0 {
+		t.Fatal("no pages swapped")
+	}
+	if _, err := v.DestroySpace(1); err != nil {
+		t.Fatal(err)
+	}
+	if v.Swapped() != 0 {
+		t.Errorf("%d swap entries survived DestroySpace", v.Swapped())
+	}
+}

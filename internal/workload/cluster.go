@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"vmp/internal/sim"
+	"vmp/internal/trace"
+)
+
+// ClusterConfig parameterizes the Section 5.4 data-clustering study:
+// "programming systems need to recognize the importance of clustering
+// related data on cache pages". A program touches small objects in
+// correlated groups (think: a record and its list links); the allocator
+// either scatters the objects of a group across pages or clusters each
+// group on one cache page.
+type ClusterConfig struct {
+	Seed       uint64
+	ASID       uint8
+	Groups     int     // number of object groups
+	ObjsPerGrp int     // objects touched together
+	ObjSize    int     // bytes per object
+	PageSize   int     // cache page size the allocator targets
+	GroupZipfS float64 // group popularity skew
+	Clustered  bool    // cluster each group on contiguous pages?
+	FieldsPer  int     // word touches per object per visit
+	WriteFrac  float64
+}
+
+// DefaultClusterConfig returns the study's standard parameters: 256
+// groups of 6 × 32-byte objects.
+func DefaultClusterConfig(pageSize int, clustered bool) ClusterConfig {
+	return ClusterConfig{
+		Seed:       17,
+		ASID:       1,
+		Groups:     2048,
+		ObjsPerGrp: 6,
+		ObjSize:    32,
+		PageSize:   pageSize,
+		GroupZipfS: 0.9,
+		Clustered:  clustered,
+		FieldsPer:  2,
+		WriteFrac:  0.3,
+	}
+}
+
+// ClusterTrace generates n references of the group-access workload with
+// the configured object layout.
+func ClusterTrace(cfg ClusterConfig, n int) []trace.Ref {
+	rnd := sim.NewRand(cfg.Seed)
+	gz := NewZipf(cfg.Groups, cfg.GroupZipfS)
+
+	// Lay the objects out.
+	addrs := make([][]uint32, cfg.Groups) // addrs[g][o] = object base
+	base := uint32(UserHeapBase)
+	if cfg.Clustered {
+		// Groups packed back to back, each starting on a page boundary:
+		// one group's objects share (at most a couple of) pages.
+		for g := range addrs {
+			groupBytes := uint32(cfg.ObjsPerGrp * cfg.ObjSize)
+			start := base
+			for o := 0; o < cfg.ObjsPerGrp; o++ {
+				addrs[g] = append(addrs[g], start+uint32(o*cfg.ObjSize))
+			}
+			// Advance to the next page boundary past the group.
+			base = (start + groupBytes + uint32(cfg.PageSize) - 1) &^ (uint32(cfg.PageSize) - 1)
+		}
+	} else {
+		// Scattered: a column-major layout — object o of every group
+		// sits in one per-type arena, so the objects of a single group
+		// land on ObjsPerGrp different, far-apart pages. Within each
+		// arena the group order is independently permuted, as a real
+		// allocator's churn would: related (and equally hot) groups do
+		// not sit next to each other either.
+		arena := uint32(cfg.Groups*cfg.ObjSize+cfg.PageSize) &^ (uint32(cfg.PageSize) - 1)
+		for o := 0; o < cfg.ObjsPerGrp; o++ {
+			perm := rnd.Perm(cfg.Groups)
+			for g := range addrs {
+				addrs[g] = append(addrs[g], base+uint32(o)*arena+uint32(perm[g]*cfg.ObjSize))
+			}
+		}
+	}
+
+	refs := make([]trace.Ref, 0, n)
+	for len(refs) < n {
+		g := gz.Sample(rnd)
+		for _, obj := range addrs[g] {
+			for f := 0; f < cfg.FieldsPer && len(refs) < n; f++ {
+				kind := trace.Read
+				if rnd.Bool(cfg.WriteFrac) {
+					kind = trace.Write
+				}
+				refs = append(refs, trace.Ref{
+					Kind: kind, ASID: cfg.ASID,
+					VAddr: obj + uint32(rnd.Intn(cfg.ObjSize/4))*4,
+				})
+			}
+			if len(refs) >= n {
+				break
+			}
+		}
+	}
+	return refs
+}

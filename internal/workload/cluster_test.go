@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"vmp/internal/trace"
+)
+
+func TestClusterTraceLength(t *testing.T) {
+	for _, clustered := range []bool{false, true} {
+		cfg := DefaultClusterConfig(256, clustered)
+		refs := ClusterTrace(cfg, 10_000)
+		if len(refs) != 10_000 {
+			t.Errorf("clustered=%v: %d refs", clustered, len(refs))
+		}
+	}
+}
+
+func TestClusterTraceDeterministic(t *testing.T) {
+	cfg := DefaultClusterConfig(256, true)
+	a := ClusterTrace(cfg, 5000)
+	b := ClusterTrace(cfg, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ref %d differs", i)
+		}
+	}
+}
+
+func TestClusteredLayoutPacksGroups(t *testing.T) {
+	// In the clustered layout, one group's references over a short
+	// window touch very few distinct 256-byte pages; scattered touches
+	// ObjsPerGrp pages.
+	count := func(clustered bool) int {
+		cfg := DefaultClusterConfig(256, clustered)
+		cfg.Groups = 4 // tiny, so one group's objects are easy to isolate
+		cfg.GroupZipfS = 0
+		refs := ClusterTrace(cfg, 12) // exactly one group visit (6 objs × 2 fields)
+		pages := map[uint32]bool{}
+		for _, r := range refs {
+			pages[r.Page(256)] = true
+		}
+		return len(pages)
+	}
+	cl, sc := count(true), count(false)
+	if cl >= sc {
+		t.Errorf("clustered group touched %d pages, scattered %d", cl, sc)
+	}
+	if cl > 2 {
+		t.Errorf("clustered group spans %d pages, want <= 2", cl)
+	}
+}
+
+func TestClusterWriteFraction(t *testing.T) {
+	cfg := DefaultClusterConfig(256, true)
+	refs := ClusterTrace(cfg, 50_000)
+	writes := 0
+	for _, r := range refs {
+		if r.Kind == trace.Write {
+			writes++
+		}
+		if r.Kind == trace.IFetch {
+			t.Fatal("cluster trace contains instruction fetches")
+		}
+	}
+	frac := float64(writes) / float64(len(refs))
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("write fraction %.2f, want ~0.3", frac)
+	}
+}
+
+func TestClusterAddressesAligned(t *testing.T) {
+	for _, clustered := range []bool{false, true} {
+		cfg := DefaultClusterConfig(512, clustered)
+		refs := ClusterTrace(cfg, 5000)
+		for _, r := range refs {
+			if r.VAddr%4 != 0 {
+				t.Fatalf("unaligned address %#x", r.VAddr)
+			}
+			if r.VAddr < UserHeapBase {
+				t.Fatalf("address %#x below heap", r.VAddr)
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package vmp
+
+import (
+	"vmp/internal/isa"
+)
+
+// AsmProgram is an assembled machine-code image for the simulator's
+// RISC-style processor model.
+type AsmProgram = isa.Program
+
+// AsmRunConfig controls machine-code execution (load address, initial
+// stack pointer, step limit, host syscall hook).
+type AsmRunConfig = isa.RunConfig
+
+// AsmResult is the register file and step count of a halted program.
+type AsmResult = isa.Result
+
+// Assemble translates assembly text (see the isa package for the
+// syntax) into a program image.
+func Assemble(src string) (*AsmProgram, error) { return isa.Assemble(src) }
+
+// RunAssembly loads a program into (asid, cfg.Base) and executes it on
+// the given board. Every instruction fetch and data reference goes
+// through the virtually addressed cache and the software miss handler.
+// done receives the final registers when the program halts.
+func RunAssembly(m *Machine, boardID int, asid uint8, prog *AsmProgram, cfg AsmRunConfig, done func(AsmResult, error)) error {
+	return isa.Run(m, boardID, asid, prog, cfg, done)
+}
+
+// ExecAssembly runs an already-loaded program from inside a RunProgram
+// body (for programs that mix Go-level and machine-code phases).
+func ExecAssembly(c *CPU, prog *AsmProgram, cfg AsmRunConfig) (AsmResult, error) {
+	return isa.Exec(c, prog, cfg)
+}

@@ -1,0 +1,74 @@
+package vmp
+
+import (
+	"vmp/internal/cache"
+	"vmp/internal/kernel"
+	"vmp/internal/trace"
+	"vmp/internal/vm"
+)
+
+// Kernel is the operating-system support layer (Section 5.4): lock and
+// queuing primitives, mailboxes, barriers and DMA management.
+type Kernel = kernel.Kernel
+
+// SpinLock is a conventional test-and-set lock on cached memory — the
+// pattern whose consistency thrashing the paper warns about.
+type SpinLock = kernel.SpinLock
+
+// NotifyLock is the paper's kernel lock: an uncached global word with
+// bus-monitor notification wakeup.
+type NotifyLock = kernel.NotifyLock
+
+// Mailbox is an interprocessor message channel built on the bus
+// monitor's notification facility.
+type Mailbox = kernel.Mailbox
+
+// Barrier synchronizes a fixed set of processors.
+type Barrier = kernel.Barrier
+
+// DMADevice is a VME DMA device whose transfers the kernel brackets
+// with the consistency-protection sequence.
+type DMADevice = kernel.DMADevice
+
+// Task is one schedulable process for the kernel's round-robin
+// scheduler: an address space plus its reference stream.
+type Task = kernel.Task
+
+// SchedPolicy tunes the scheduler (quantum, switch cost, and the
+// flush-on-switch ablation of the paper's footnote 1).
+type SchedPolicy = kernel.SchedPolicy
+
+// SchedStats reports a completed scheduling run.
+type SchedStats = kernel.SchedStats
+
+// NewKernel attaches the kernel layer to a machine, reserving
+// uncachedPages VM pages of physical memory as the non-cached global
+// region.
+func NewKernel(m *Machine, uncachedPages int) (*Kernel, error) {
+	return kernel.New(m, uncachedPages)
+}
+
+// NewDMADevice creates a DMA device on the machine's bus.
+func NewDMADevice(m *Machine, name string) *DMADevice {
+	return kernel.NewDMADevice(m, name)
+}
+
+// AliasPage maps the VM page containing dst to the same physical frame
+// as the page containing src within one address space, creating a
+// virtual-address alias (a synonym). Both pages must be resident; use
+// Machine.Prefault first.
+func AliasPage(m *Machine, asid uint8, src, dst uint32) error {
+	w, err := m.VM.Translate(asid, src, false, src >= vm.KernelBase)
+	if err != nil {
+		return err
+	}
+	flags := vm.Present | (w.PTE & (vm.Writable | vm.Supervisor))
+	_, _, err = m.VM.Remap(asid, dst, vm.NewPTE(w.PTE.Frame(), flags))
+	return err
+}
+
+// SimulateMissRatio replays a trace through a single cold cache with no
+// timing model (the Figure 4 methodology) and returns the miss ratio.
+func SimulateMissRatio(cfg CacheConfig, refs []Ref) float64 {
+	return cache.Simulate(cfg, trace.NewSliceSource(refs)).MissRatio()
+}
