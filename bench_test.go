@@ -1,8 +1,10 @@
 // Benchmarks that regenerate every table and figure of the paper's
-// evaluation (plus the ablations), one benchmark per artifact. They run
-// the experiments in quick mode so `go test -bench=.` finishes in
-// reasonable time; `cmd/vmpbench` runs the same experiments at full
-// fidelity and prints the tables and figures.
+// evaluation (plus the ablations), one sub-benchmark per registered
+// experiment — the benchmark set is driven by the experiment registry,
+// so a new experiment is benchmarked the moment it is registered. They
+// run in quick mode so `go test -bench=.` finishes in reasonable time;
+// `cmd/vmpbench` runs the same experiments at full fidelity and prints
+// the tables and figures.
 package vmp_test
 
 import (
@@ -18,79 +20,40 @@ func benchOptions() experiments.Options {
 	return experiments.Options{Quick: true, Seed: 11}
 }
 
-func runExperiment(b *testing.B, id string) {
-	b.Helper()
+// BenchmarkExperiment runs every registered experiment as a
+// sub-benchmark, e.g. `go test -bench=Experiment/table1`.
+func BenchmarkExperiment(b *testing.B) {
+	for _, e := range experiments.All() {
+		e := e
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run(e.ID, benchOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunAllParallel measures the full experiment sweep through
+// the parallel run layer at GOMAXPROCS workers.
+func BenchmarkRunAllParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run(id, benchOptions()); err != nil {
+		if _, err := experiments.RunAll(benchOptions(), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkTable1 regenerates Table 1: elapsed and bus time per cache
-// miss for every page size and victim state.
-func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
-
-// BenchmarkTable2 regenerates Table 2: the average cache miss cost at
-// 75% clean victims.
-func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
-
-// BenchmarkFigure2 regenerates the Figure 2 bus-transaction timing
-// breakdown.
-func BenchmarkFigure2(b *testing.B) { runExperiment(b, "fig2") }
-
-// BenchmarkFigure3 regenerates Figure 3: processor performance vs miss
-// ratio (model + simulation cross-check).
-func BenchmarkFigure3(b *testing.B) { runExperiment(b, "fig3") }
-
-// BenchmarkFigure4 regenerates Figure 4: cold-start miss ratio vs cache
-// size over the four ATUM-like traces.
-func BenchmarkFigure4(b *testing.B) { runExperiment(b, "fig4") }
-
-// BenchmarkFigure5 regenerates Figure 5: bus utilization vs miss ratio
-// and the processors-per-bus estimate.
-func BenchmarkFigure5(b *testing.B) { runExperiment(b, "fig5") }
-
-// BenchmarkAblationLocks compares spin locks and notification locks
-// (Section 5.4).
-func BenchmarkAblationLocks(b *testing.B) { runExperiment(b, "locks") }
-
-// BenchmarkAblationProtocols compares the VMP ownership protocol
-// against the Section 6 alternatives.
-func BenchmarkAblationProtocols(b *testing.B) { runExperiment(b, "protocols") }
-
-// BenchmarkAblationCopier compares the block copier against a CPU copy
-// loop (Section 2).
-func BenchmarkAblationCopier(b *testing.B) { runExperiment(b, "copier") }
-
-// BenchmarkAblationReadPrivate measures the read-private-on-read hint
-// (Section 5.4).
-func BenchmarkAblationReadPrivate(b *testing.B) { runExperiment(b, "readprivate") }
-
-// BenchmarkAblationScaling measures per-processor performance for 1-6
-// processors (Section 5.3).
-func BenchmarkAblationScaling(b *testing.B) { runExperiment(b, "scaling") }
-
-// BenchmarkAblationFIFO measures overflow recovery across FIFO depths.
-func BenchmarkAblationFIFO(b *testing.B) { runExperiment(b, "fifo") }
-
-// BenchmarkAblationAlias measures virtual-address alias consistency.
-func BenchmarkAblationAlias(b *testing.B) { runExperiment(b, "alias") }
-
-// BenchmarkAblationTranslation measures the Section 3.4 remap sequence.
-func BenchmarkAblationTranslation(b *testing.B) { runExperiment(b, "translation") }
-
-// BenchmarkAblationClustering measures the Section 5.4 data-clustering
-// technique across page sizes.
-func BenchmarkAblationClustering(b *testing.B) { runExperiment(b, "clustering") }
-
-// BenchmarkAblationASID measures ASID tags vs flush-on-switch context
-// switching (footnote 1).
-func BenchmarkAblationASID(b *testing.B) { runExperiment(b, "asid") }
-
-// BenchmarkAblationPageContention measures false-sharing cost across
-// page sizes.
-func BenchmarkAblationPageContention(b *testing.B) { runExperiment(b, "pagecontention") }
+// BenchmarkRunAllSerial measures the same sweep on a single worker,
+// the baseline for the parallel layer's speedup.
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(benchOptions(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkCacheLookup measures the raw simulator cache-lookup path
 // (simulator performance, not a paper artifact).
@@ -130,24 +93,3 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 		}
 	}
 }
-
-// BenchmarkAblationSpinFairness measures naive vs backoff machine-code
-// spinning (Section 5.4).
-func BenchmarkAblationSpinFairness(b *testing.B) { runExperiment(b, "spinfair") }
-
-// BenchmarkAblationAssociativity sweeps cache associativity 1/2/4.
-func BenchmarkAblationAssociativity(b *testing.B) { runExperiment(b, "assoc") }
-
-// BenchmarkAblationParallelApp measures parallel speedup of a
-// well-behaved application.
-func BenchmarkAblationParallelApp(b *testing.B) { runExperiment(b, "app") }
-
-// BenchmarkAblationIPC measures notification-mailbox round trips.
-func BenchmarkAblationIPC(b *testing.B) { runExperiment(b, "ipc") }
-
-// BenchmarkAblationWorkQueue measures shared work-queue throughput.
-func BenchmarkAblationWorkQueue(b *testing.B) { runExperiment(b, "workqueue") }
-
-// BenchmarkAblationConsistency measures consistency-interrupt overhead
-// as effective miss-ratio inflation.
-func BenchmarkAblationConsistency(b *testing.B) { runExperiment(b, "consistency") }

@@ -7,33 +7,46 @@
 //	vmpbench                 # run everything at full fidelity
 //	vmpbench -quick          # shrunken workloads for a fast smoke run
 //	vmpbench -run fig4       # one experiment by id
+//	vmpbench -workers 4      # cap concurrent experiments (0 = GOMAXPROCS)
 //	vmpbench -list           # list experiment ids
 //	vmpbench -csv            # also print each table as CSV
+//	vmpbench -json           # machine-readable results on stdout
+//	vmpbench -md             # EXPERIMENTS.md-style markdown on stdout
+//
+// Results are deterministic for a given -seed regardless of -workers:
+// each experiment's workload seed derives from the id, not from
+// scheduling order.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"vmp/internal/experiments"
+	"vmp/internal/stats"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "run a single experiment by id")
-		quick = flag.Bool("quick", false, "shrink workloads for a fast run")
-		seed  = flag.Uint64("seed", 11, "workload seed")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		csv   = flag.Bool("csv", false, "also emit each table as CSV")
+		run     = flag.String("run", "", "run a single experiment by id")
+		quick   = flag.Bool("quick", false, "shrink workloads for a fast run")
+		seed    = flag.Uint64("seed", 11, "workload seed")
+		workers = flag.Int("workers", 0, "concurrent experiments (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csv     = flag.Bool("csv", false, "also emit each table as CSV")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON results")
+		mdOut   = flag.Bool("md", false, "emit EXPERIMENTS.md-style markdown")
 	)
 	flag.Parse()
 
 	if *list {
-		desc := experiments.Describe()
-		for _, id := range experiments.IDs() {
-			fmt.Printf("%-12s %s\n", id, desc[id])
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %-11s %-8s %s\n", e.ID, e.Artifact, e.Cost, e.Title)
 		}
 		return
 	}
@@ -48,17 +61,171 @@ func main() {
 		r, err = experiments.Run(*run, opts)
 		results = append(results, r)
 	} else {
-		results, err = experiments.RunAll(opts)
+		results, err = experiments.RunAll(opts, *workers)
 	}
 	if err != nil {
+		var unknown *experiments.UnknownIDError
+		if errors.As(err, &unknown) {
+			fmt.Fprintf(os.Stderr, "vmpbench: unknown experiment id %q; valid ids:\n", unknown.ID)
+			for _, id := range unknown.Known {
+				fmt.Fprintln(os.Stderr, " ", id)
+			}
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "vmpbench:", err)
 		os.Exit(1)
 	}
+
+	switch {
+	case *jsonOut:
+		if err := emitJSON(results); err != nil {
+			fmt.Fprintln(os.Stderr, "vmpbench:", err)
+			os.Exit(1)
+		}
+	case *mdOut:
+		emitMarkdown(results, opts)
+	default:
+		for _, r := range results {
+			fmt.Println(r)
+			if *csv && r.Table != nil {
+				fmt.Println(r.Table.CSV())
+			}
+		}
+		fmt.Printf("completed %d experiment(s) in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// jsonResult is the machine-readable form of one experiment result.
+type jsonResult struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	Artifact string `json:"artifact,omitempty"`
+
+	WallMs          float64 `json:"wall_ms"`
+	SimNs           int64   `json:"sim_ns"`
+	EventsFired     uint64  `json:"events_fired"`
+	EventsScheduled uint64  `json:"events_scheduled"`
+	MaxQueueDepth   int     `json:"max_queue_depth"`
+	Engines         int     `json:"engines"`
+	SimNsPerWallMs  float64 `json:"sim_ns_per_wall_ms"`
+
+	Table     *jsonTable `json:"table,omitempty"`
+	PaperNote string     `json:"paper_note,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Note    string     `json:"note,omitempty"`
+}
+
+func emitJSON(results []*experiments.Result) error {
+	out := make([]jsonResult, 0, len(results))
 	for _, r := range results {
-		fmt.Println(r)
-		if *csv && r.Table != nil {
-			fmt.Println(r.Table.CSV())
+		jr := jsonResult{
+			ID:              r.ID,
+			Title:           r.Title,
+			WallMs:          float64(r.Metrics.Wall) / float64(time.Millisecond),
+			SimNs:           int64(r.Metrics.SimTime),
+			EventsFired:     r.Metrics.EventsFired,
+			EventsScheduled: r.Metrics.EventsScheduled,
+			MaxQueueDepth:   r.Metrics.MaxQueueDepth,
+			Engines:         r.Metrics.Engines,
+			SimNsPerWallMs:  r.Metrics.SimNsPerWallMs(),
+			PaperNote:       r.PaperNote,
+		}
+		if e, ok := experiments.Lookup(r.ID); ok {
+			jr.Artifact = e.Artifact
+		}
+		if r.Table != nil {
+			jr.Table = &jsonTable{
+				Title:   r.Table.Title,
+				Columns: r.Table.Columns,
+				Rows:    r.Table.Rows,
+				Note:    r.Table.Note,
+			}
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// emitMarkdown renders the results as the EXPERIMENTS.md document:
+// measured tables in markdown form with the paper's reported values
+// alongside, regenerable at any time from the registry.
+func emitMarkdown(results []*experiments.Result, o experiments.Options) {
+	fidelity := "full fidelity"
+	if o.Quick {
+		fidelity = "quick mode"
+	}
+	fmt.Printf("# EXPERIMENTS — paper vs measured\n\n")
+	fmt.Printf("Every table and figure of the paper's evaluation (Section 5) plus\n")
+	fmt.Printf("the ablations implied by Sections 2, 3.3, 5.4 and 6 — %d experiments\n", len(results))
+	fmt.Printf("in all. This document is generated: regenerate it with\n")
+	fmt.Printf("`go run ./cmd/vmpbench -md > EXPERIMENTS.md` (%s, seed %d,\n", fidelity, o.Seed)
+	fmt.Printf("deterministic; per-experiment seeds derive from the experiment id).\n")
+	fmt.Printf("Individual artifacts: `-run <id>`; ids: `-list`.\n\n")
+	fmt.Printf("All timing numbers are **measured inside the simulator** by running\n")
+	fmt.Printf("the machine, not recomputed from the timing constants.\n")
+
+	for _, r := range results {
+		artifact := ""
+		if e, ok := experiments.Lookup(r.ID); ok {
+			artifact = e.Artifact + " — "
+		}
+		fmt.Printf("\n## %s%s (`%s`)\n\n", artifact, r.Title, r.ID)
+		if r.Table != nil {
+			fmt.Print(markdownTable(r.Table))
+		}
+		if r.Plot != nil {
+			fmt.Printf("```\n%s```\n\n", r.Plot.String())
+		}
+		if r.PaperNote != "" {
+			// Multiline paper notes carry ASCII art (fig1's diagram):
+			// keep the first line as prose and fence the rest.
+			if head, rest, multi := strings.Cut(r.PaperNote, "\n"); multi {
+				fmt.Printf("**Paper:** %s\n\n```\n%s\n```\n", head, strings.TrimRight(rest, "\n"))
+			} else {
+				fmt.Printf("**Paper:** %s\n", r.PaperNote)
+			}
 		}
 	}
-	fmt.Printf("completed %d experiment(s) in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+}
+
+func markdownTable(t *stats.Table) string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "*%s*\n\n", t.Title)
+	}
+	cell := func(s string) string {
+		return strings.ReplaceAll(strings.TrimSpace(s), "|", "\\|")
+	}
+	b.WriteString("|")
+	for _, c := range t.Columns {
+		b.WriteString(" " + cell(c) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for i := range t.Columns {
+			v := ""
+			if i < len(row) {
+				v = row[i]
+			}
+			b.WriteString(" " + cell(v) + " |")
+		}
+		b.WriteString("\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Note)
+	}
+	b.WriteString("\n")
+	return b.String()
 }

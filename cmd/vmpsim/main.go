@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vmp/internal/bus"
 	"vmp/internal/cache"
@@ -37,6 +38,7 @@ func main() {
 		shareKernel = flag.Bool("sharekernel", false, "let all boards share kernel-region frames (contended) instead of per-board kernel slices")
 		prefault    = flag.Bool("prefault", true, "pre-fault all pages so the run measures steady-state misses")
 		hist        = flag.Bool("hist", false, "print each board's miss-latency histogram")
+		metrics     = flag.Bool("metrics", false, "dump the full per-run metrics sink (every counter)")
 	)
 	flag.Parse()
 
@@ -81,8 +83,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("simulated %v on %d processor(s); bus utilization %.1f%%\n\n",
-		end, *procs, 100*m.Bus.Utilization())
+	em := m.Eng.Metrics()
+	fmt.Printf("simulated %v on %d processor(s); bus utilization %.1f%%\n", end, *procs, 100*m.Bus.Utilization())
+	fmt.Printf("engine: %d events fired, max queue depth %d, %.3g sim-ns/wall-ms (%v wall)\n\n",
+		em.EventsFired, em.MaxQueueDepth, em.SimNsPerWallMs(m.Eng.Now()), em.Wall.Round(time.Millisecond))
 
 	t := stats.NewTable("Per-board results",
 		"Board", "Refs", "Miss Ratio (%)", "Performance", "WriteBacks", "Inval In", "Downgrades", "Retries", "Recoveries")
@@ -113,6 +117,10 @@ func main() {
 	bt.Add("aborts", bst.Aborts)
 	bt.Add("bytes moved", bst.BytesMoved)
 	fmt.Println(bt)
+
+	if *metrics {
+		fmt.Println(m.Eng.Recorder().Table("Per-run metrics sink"))
+	}
 }
 
 func busOps() []bus.Op {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"vmp/internal/sim"
+	"vmp/internal/stats"
 )
 
 // Op is a bus transaction type.
@@ -175,29 +176,45 @@ type Stats struct {
 	BytesMoved   uint64
 }
 
-// Bus is the shared VMEbus. Create with New.
+// numOps is the number of distinct transaction types.
+const numOps = int(PlainWrite) + 1
+
+// Bus is the shared VMEbus. Create with New. All counters live in the
+// engine's per-run stats.Recorder under "bus/..." names, so a run's
+// metrics are collected in one sink instead of scattered per component.
 type Bus struct {
 	eng      *sim.Engine
 	timing   Timing
 	sem      *sim.Semaphore
 	snoopers []Snooper
-	stats    Stats
+
+	tx     [numOps]*stats.Counter
+	aborts *stats.Counter
+	busy   *stats.Counter // occupancy, in sim.Time ns
+	bytes  *stats.Counter
+
 	// perBoard accumulates bus occupancy per requester (DMA under
 	// NoRequester is not tracked here).
 	perBoard map[int]sim.Time
 }
 
-// New creates a bus on the given engine with default timing.
+// New creates a bus on the given engine with default timing, registering
+// its counters in the engine's recorder.
 func New(eng *sim.Engine) *Bus {
-	return &Bus{
-		eng:    eng,
-		timing: DefaultTiming(),
-		sem:    sim.NewSemaphore(1),
-		stats: Stats{
-			Transactions: make(map[Op]uint64),
-		},
+	rec := eng.Recorder()
+	b := &Bus{
+		eng:      eng,
+		timing:   DefaultTiming(),
+		sem:      sim.NewSemaphore(1),
+		aborts:   rec.Counter("bus/aborts"),
+		busy:     rec.Counter("bus/busy-ns"),
+		bytes:    rec.Counter("bus/bytes-moved"),
 		perBoard: make(map[int]sim.Time),
 	}
+	for op := 0; op < numOps; op++ {
+		b.tx[op] = rec.Counter("bus/tx/" + Op(op).String())
+	}
+	return b
 }
 
 // SetTiming overrides the timing constants (before simulation starts).
@@ -209,12 +226,19 @@ func (b *Bus) Timing() Timing { return b.timing }
 // Attach registers a bus monitor. All monitors see all transactions.
 func (b *Bus) Attach(s Snooper) { b.snoopers = append(b.snoopers, s) }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters. Only transaction types that
+// occurred appear in the map.
 func (b *Bus) Stats() Stats {
-	cp := b.stats
-	cp.Transactions = make(map[Op]uint64, len(b.stats.Transactions))
-	for k, v := range b.stats.Transactions {
-		cp.Transactions[k] = v
+	cp := Stats{
+		Aborts:       uint64(b.aborts.Value()),
+		BusyTime:     sim.Time(b.busy.Value()),
+		BytesMoved:   uint64(b.bytes.Value()),
+		Transactions: make(map[Op]uint64),
+	}
+	for op := 0; op < numOps; op++ {
+		if v := b.tx[op].Value(); v > 0 {
+			cp.Transactions[Op(op)] = uint64(v)
+		}
 	}
 	return cp
 }
@@ -229,7 +253,7 @@ func (b *Bus) Utilization() float64 {
 	if b.eng.Now() == 0 {
 		return 0
 	}
-	return float64(b.stats.BusyTime) / float64(b.eng.Now())
+	return float64(b.busy.Value()) / float64(b.eng.Now())
 }
 
 // Do performs one bus transaction on behalf of process p, blocking p
@@ -268,10 +292,10 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 	var busy sim.Time
 	if aborted {
 		busy = b.timing.AbortTime()
-		b.stats.Aborts++
+		b.aborts.Inc()
 	} else {
 		busy = b.timing.TransferTime(tx.Op, tx.Bytes)
-		b.stats.BytesMoved += uint64(tx.Bytes)
+		b.bytes.Add(int64(tx.Bytes))
 		if tx.Requester != NoRequester && (tx.Op.ConsistencyRelated() || tx.Op == WriteActionTable) {
 			for _, s := range b.snoopers {
 				if s.BoardID() == tx.Requester {
@@ -280,8 +304,8 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 			}
 		}
 	}
-	b.stats.Transactions[tx.Op]++
-	b.stats.BusyTime += busy
+	b.tx[tx.Op].Inc()
+	b.busy.Add(int64(busy))
 	if tx.Requester != NoRequester {
 		b.perBoard[tx.Requester] += busy
 	}

@@ -16,7 +16,11 @@
 // miss handler never read the cache tags.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"vmp/internal/stats"
+)
 
 // Flags is the per-slot flag word.
 type Flags uint8
@@ -166,31 +170,79 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses+s.WriteMisses) / float64(total)
 }
 
+// cacheCounters is the recorder-backed counter set for one cache.
+type cacheCounters struct {
+	hits, misses, writeMisses, protFaults *stats.Counter
+	fills, invalidates, downgrades        *stats.Counter
+}
+
+func bindCacheCounters(rec *stats.Recorder, prefix string) cacheCounters {
+	return cacheCounters{
+		hits:        rec.Counter(prefix + "hits"),
+		misses:      rec.Counter(prefix + "misses"),
+		writeMisses: rec.Counter(prefix + "write-misses"),
+		protFaults:  rec.Counter(prefix + "prot-faults"),
+		fills:       rec.Counter(prefix + "fills"),
+		invalidates: rec.Counter(prefix + "invalidates"),
+		downgrades:  rec.Counter(prefix + "downgrades"),
+	}
+}
+
 // Cache is the cache hardware model. Create with New.
 type Cache struct {
 	cfg   Config
 	slots []slot // rows × assoc, row-major
 	tick  uint64
-	stats Stats
+	ctr   cacheCounters
 }
 
 // New builds a cache; it panics on an invalid geometry (a configuration
-// bug, not a runtime condition).
+// bug, not a runtime condition). The cache counts events into a private
+// recorder until BindRecorder attaches it to a run's sink.
 func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Cache{cfg: cfg, slots: make([]slot, cfg.Slots())}
+	return &Cache{
+		cfg:   cfg,
+		slots: make([]slot, cfg.Slots()),
+		ctr:   bindCacheCounters(stats.NewRecorder(), "cache/"),
+	}
+}
+
+// BindRecorder re-registers the cache's event counters in a per-run
+// metrics sink under the given name prefix (e.g. "board0/cache/").
+// Call it before the simulation starts; counts already accumulated stay
+// behind in the previous sink.
+func (c *Cache) BindRecorder(rec *stats.Recorder, prefix string) {
+	c.ctr = bindCacheCounters(rec, prefix)
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a copy of the event counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        uint64(c.ctr.hits.Value()),
+		Misses:      uint64(c.ctr.misses.Value()),
+		WriteMisses: uint64(c.ctr.writeMisses.Value()),
+		ProtFaults:  uint64(c.ctr.protFaults.Value()),
+		Fills:       uint64(c.ctr.fills.Value()),
+		Invalidates: uint64(c.ctr.invalidates.Value()),
+		Downgrades:  uint64(c.ctr.downgrades.Value()),
+	}
+}
 
 // ResetStats zeroes the event counters (contents are untouched).
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	for _, ctr := range []*stats.Counter{
+		c.ctr.hits, c.ctr.misses, c.ctr.writeMisses, c.ctr.protFaults,
+		c.ctr.fills, c.ctr.invalidates, c.ctr.downgrades,
+	} {
+		ctr.Reset()
+	}
+}
 
 // VPage converts a virtual address to its cache-page number.
 func (c *Cache) VPage(vaddr uint32) uint32 { return vaddr / uint32(c.cfg.PageSize) }
@@ -211,11 +263,11 @@ func (c *Cache) Lookup(asid uint8, vaddr uint32, acc Access) (SlotID, Result) {
 		}
 		id := SlotID(base + way)
 		if !c.permitted(s.Flags, acc) {
-			c.stats.ProtFaults++
+			c.ctr.protFaults.Inc()
 			return id, ProtFault
 		}
 		if acc.Write && !s.Flags.Has(Exclusive) {
-			c.stats.WriteMisses++
+			c.ctr.writeMisses.Inc()
 			return id, WriteMiss
 		}
 		c.tick++
@@ -223,10 +275,10 @@ func (c *Cache) Lookup(asid uint8, vaddr uint32, acc Access) (SlotID, Result) {
 		if acc.Write {
 			s.Flags |= Modified
 		}
-		c.stats.Hits++
+		c.ctr.hits.Inc()
 		return id, Hit
 	}
-	c.stats.Misses++
+	c.ctr.misses.Inc()
 	return -1, Miss
 }
 
@@ -274,13 +326,13 @@ func (c *Cache) Fill(id SlotID, asid uint8, vaddr uint32, flags Flags) {
 		Slot:    Slot{ASID: asid, VPage: vpage, Flags: flags | Valid},
 		lastUse: c.tick,
 	}
-	c.stats.Fills++
+	c.ctr.fills.Inc()
 }
 
 // Invalidate clears a slot.
 func (c *Cache) Invalidate(id SlotID) {
 	c.slots[id] = slot{}
-	c.stats.Invalidates++
+	c.ctr.invalidates.Inc()
 }
 
 // Downgrade clears Exclusive (and Modified) on a slot, making the copy
@@ -288,7 +340,7 @@ func (c *Cache) Invalidate(id SlotID) {
 // The caller must have written the page back if it was modified.
 func (c *Cache) Downgrade(id SlotID) {
 	c.slots[id].Flags &^= Exclusive | Modified
-	c.stats.Downgrades++
+	c.ctr.downgrades.Inc()
 }
 
 // ClearModified clears only the Modified bit (after a write-back that

@@ -52,6 +52,36 @@ type BoardStats struct {
 	IntrTime         sim.Time // total time spent servicing consistency interrupts
 }
 
+// boardCounters is the recorder-backed counter set behind BoardStats.
+// All counters live in the run's stats.Recorder under "board<i>/..."
+// names, next to the board's cache and monitor counters.
+type boardCounters struct {
+	refs, retries, intrWords, staleWords     *stats.Counter
+	invalidationsIn, downgradesIn            *stats.Counter
+	writeBacks, writeBackRetries, recoveries *stats.Counter
+	pageFaults, protFaults, violations       *stats.Counter
+	missTimeNs, intrTimeNs                   *stats.Counter
+}
+
+func bindBoardCounters(rec *stats.Recorder, prefix string) boardCounters {
+	return boardCounters{
+		refs:             rec.Counter(prefix + "refs"),
+		retries:          rec.Counter(prefix + "retries"),
+		intrWords:        rec.Counter(prefix + "intr-words"),
+		staleWords:       rec.Counter(prefix + "stale-words"),
+		invalidationsIn:  rec.Counter(prefix + "invalidations-in"),
+		downgradesIn:     rec.Counter(prefix + "downgrades-in"),
+		writeBacks:       rec.Counter(prefix + "write-backs"),
+		writeBackRetries: rec.Counter(prefix + "write-back-retries"),
+		recoveries:       rec.Counter(prefix + "recoveries"),
+		pageFaults:       rec.Counter(prefix + "page-faults"),
+		protFaults:       rec.Counter(prefix + "prot-faults"),
+		violations:       rec.Counter(prefix + "violations"),
+		missTimeNs:       rec.Counter(prefix + "miss-time-ns"),
+		intrTimeNs:       rec.Counter(prefix + "intr-time-ns"),
+	}
+}
+
 // Board is one VMP processor board: CPU timing state, virtually
 // addressed cache, bus monitor, block copier, and the cache-management
 // software's local-memory tables.
@@ -86,21 +116,27 @@ type Board struct {
 	// invocation, in microseconds (exponential buckets 1µs..1ms).
 	missHist *stats.Histogram
 
-	stats BoardStats
+	ctr boardCounters
 }
 
 func newBoard(m *Machine, id int) *Board {
+	rec := m.Eng.Recorder()
+	prefix := fmt.Sprintf("board%d/", id)
 	c := cache.New(m.cfg.Cache)
+	c.BindRecorder(rec, prefix+"cache/")
+	mon := monitor.New(id, m.Mem.Frames(), m.cfg.Cache.PageSize, m.cfg.FIFODepth)
+	mon.BindRecorder(rec, prefix+"monitor/")
 	b := &Board{
 		ID:        id,
 		m:         m,
 		Cache:     c,
-		Mon:       monitor.New(id, m.Mem.Frames(), m.cfg.Cache.PageSize, m.cfg.FIFODepth),
+		Mon:       mon,
 		Cop:       copier.New(m.Eng, m.Bus, id),
 		frames:    make(map[uint32]*frameInfo),
 		slotFrame: make([]uint32, m.cfg.Cache.Slots()),
 		protected: make(map[uint32]bool),
 		missHist:  stats.NewHistogram(1, 1024), // µs
+		ctr:       bindBoardCounters(rec, prefix),
 	}
 	b.Mon.SetInterruptLine(func() { b.intrSig.Broadcast() })
 	m.Bus.Attach(b.Mon)
@@ -108,7 +144,24 @@ func newBoard(m *Machine, id int) *Board {
 }
 
 // Stats returns a copy of the board counters.
-func (b *Board) Stats() BoardStats { return b.stats }
+func (b *Board) Stats() BoardStats {
+	return BoardStats{
+		Refs:             uint64(b.ctr.refs.Value()),
+		Retries:          uint64(b.ctr.retries.Value()),
+		IntrWords:        uint64(b.ctr.intrWords.Value()),
+		StaleWords:       uint64(b.ctr.staleWords.Value()),
+		InvalidationsIn:  uint64(b.ctr.invalidationsIn.Value()),
+		DowngradesIn:     uint64(b.ctr.downgradesIn.Value()),
+		WriteBacks:       uint64(b.ctr.writeBacks.Value()),
+		WriteBackRetries: uint64(b.ctr.writeBackRetries.Value()),
+		Recoveries:       uint64(b.ctr.recoveries.Value()),
+		PageFaults:       uint64(b.ctr.pageFaults.Value()),
+		ProtFaults:       uint64(b.ctr.protFaults.Value()),
+		Violations:       uint64(b.ctr.violations.Value()),
+		MissTime:         sim.Time(b.ctr.missTimeNs.Value()),
+		IntrTime:         sim.Time(b.ctr.intrTimeNs.Value()),
+	}
+}
 
 // MissLatency returns the histogram of miss-handler elapsed times in
 // microseconds (top-level misses only; nested page-table fills are
@@ -148,7 +201,7 @@ func (b *Board) frameAddr(frame uint32) uint32 {
 // The reference's CPU execution time is charged by the caller; Access
 // charges only miss-handling time.
 func (b *Board) Access(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access) error {
-	b.stats.Refs++
+	b.ctr.refs.Inc()
 	// Bus-monitor interrupts are serviced between instructions.
 	b.ServiceInterrupts(p)
 	for {
@@ -163,7 +216,7 @@ func (b *Board) Access(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acces
 		case cache.WriteMiss:
 			b.upgradeOwnership(p, asid, vaddr)
 		case cache.ProtFault:
-			b.stats.ProtFaults++
+			b.ctr.protFaults.Inc()
 			return fmt.Errorf("core: protection fault board=%d asid=%d vaddr=%#x", b.ID, asid, vaddr)
 		}
 	}
@@ -197,7 +250,7 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 	start := p.Now()
 	defer func() {
 		d := p.Now() - start
-		b.stats.MissTime += d
+		b.ctr.missTimeNs.Add(int64(d))
 		b.missHist.Add(d.Micros())
 	}()
 
@@ -234,7 +287,7 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 		// Ownership conflict: the owner was interrupted and will
 		// release the page. Re-trap, service our own interrupts (we may
 		// be the owner under an alias, or hold a stale entry), retry.
-		b.stats.Retries++
+		b.ctr.retries.Inc()
 		p.Delay(b.retryDelay())
 		b.resolveOwnConflict(p, frame)
 		b.ServiceInterrupts(p)
@@ -319,7 +372,7 @@ func (b *Board) translate(p *sim.Process, asid uint8, vaddr uint32, acc cache.Ac
 			return vm.Walk{}, err
 		}
 		// Demand-zero page fault (operating-system service).
-		b.stats.PageFaults++
+		b.ctr.pageFaults.Inc()
 		p.Delay(t.PageFault)
 		res, ferr := b.m.VM.HandleFault(asid, vaddr, acc.Write, acc.Super, b.m.cfg.Policy)
 		if ferr != nil {
@@ -359,7 +412,7 @@ func (b *Board) refNested(p *sim.Process, asid uint8, vaddr uint32, depth int) e
 func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access, depth int) error {
 	t := b.timing()
 	start := p.Now()
-	defer func() { b.stats.MissTime += p.Now() - start }()
+	defer func() { b.ctr.missTimeNs.Add(int64(p.Now() - start)) }()
 
 	p.Delay(t.Handler.TrapEntry)
 	walk, err := b.translate(p, asid, vaddr, acc, depth)
@@ -374,7 +427,7 @@ func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cac
 	b.Cop.Start(bus.Transaction{Op: bus.ReadShared, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
 	p.Delay(t.Handler.BookkeepRead)
 	if res := b.Cop.Wait(p); res.Aborted {
-		b.stats.Retries++
+		b.ctr.retries.Inc()
 		p.Delay(b.retryDelay())
 		b.resolveOwnConflict(p, frame)
 		b.ServiceInterrupts(p)
@@ -419,12 +472,12 @@ func (b *Board) evict(p *sim.Process, victim cache.SlotID) {
 		// entry (left by its own lazy clean eviction); the abort posts
 		// that board a violation word, it clears the entry, and our
 		// retry goes through.
-		b.stats.WriteBacks++
+		b.ctr.writeBacks.Inc()
 		b.Cop.Start(bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
 		p.Delay(b.timing().Handler.BookkeepWB)
 		res := b.Cop.Wait(p)
 		for res.Aborted {
-			b.stats.WriteBackRetries++
+			b.ctr.writeBackRetries.Inc()
 			p.Delay(b.retryDelay())
 			res = b.Cop.Run(p, bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
 		}
@@ -470,7 +523,7 @@ func (b *Board) detachSlot(frame uint32, fi *frameInfo, slot cache.SlotID) {
 func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32) {
 	t := b.timing()
 	start := p.Now()
-	defer func() { b.stats.MissTime += p.Now() - start }()
+	defer func() { b.ctr.missTimeNs.Add(int64(p.Now() - start)) }()
 
 	p.Delay(t.Handler.TrapEntry)
 	slot, ok := b.Cache.FindVirtual(asid, vaddr)
@@ -487,7 +540,7 @@ func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32) {
 		Op: bus.AssertOwnership, PAddr: b.frameAddr(frame), Requester: b.ID,
 	})
 	if res.Aborted {
-		b.stats.Retries++
+		b.ctr.retries.Inc()
 		p.Delay(b.retryDelay())
 		b.ServiceInterrupts(p)
 		p.Delay(t.Handler.Epilogue)
@@ -566,14 +619,14 @@ func (b *Board) releaseOwnership(p *sim.Process, frame uint32, fi *frameInfo, ke
 	paddr := b.frameAddr(frame)
 
 	if st.Flags.Has(cache.Modified) {
-		b.stats.WriteBacks++
+		b.ctr.writeBacks.Inc()
 		tx := bus.Transaction{
 			Op: bus.WriteBack, PAddr: paddr, Bytes: b.pageSize(), Downgrade: keepShared,
 		}
 		for b.Cop.Run(p, tx).Aborted {
 			// Spurious abort from a stale foreign Shared entry; that
 			// board clears it on the violation word and we retry.
-			b.stats.WriteBackRetries++
+			b.ctr.writeBackRetries.Inc()
 			p.Delay(b.retryDelay())
 		}
 	} else {
@@ -591,14 +644,14 @@ func (b *Board) releaseOwnership(p *sim.Process, frame uint32, fi *frameInfo, ke
 	if keepShared {
 		b.Cache.Downgrade(slot)
 		fi.state = psShared
-		b.stats.DowngradesIn++
+		b.ctr.downgradesIn.Inc()
 		if b.m.checker != nil {
 			b.m.checker.downgraded(b.ID, frame)
 		}
 	} else {
 		b.Cache.Invalidate(slot)
 		b.detachSlot(frame, fi, slot)
-		b.stats.InvalidationsIn++
+		b.ctr.invalidationsIn.Inc()
 		if b.m.checker != nil {
 			b.m.checker.released(b.ID, frame)
 		}
@@ -698,11 +751,11 @@ func (b *Board) ServiceInterrupts(p *sim.Process) {
 			if !ok {
 				break
 			}
-			b.stats.IntrWords++
+			b.ctr.intrWords.Inc()
 			start := p.Now()
 			p.Delay(b.timing().Handler.Interrupt)
 			b.handleWord(p, w)
-			b.stats.IntrTime += p.Now() - start
+			b.ctr.intrTimeNs.Add(int64(p.Now() - start))
 		}
 		if !b.Mon.Dropped() {
 			return
@@ -731,7 +784,7 @@ func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
 	if fi == nil {
 		// Stale word: we no longer hold the frame but our table entry
 		// still reacts. Clear it so requesters stop tripping over us.
-		b.stats.StaleWords++
+		b.ctr.staleWords.Inc()
 		act := b.Mon.Action(w.PAddr)
 		if act == monitor.Shared || act == monitor.Private {
 			b.m.Bus.Do(p, bus.Transaction{
@@ -758,7 +811,7 @@ func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
 				b.Cache.Invalidate(s)
 				b.detachSlot(frame, fi, s)
 			}
-			b.stats.InvalidationsIn++
+			b.ctr.invalidationsIn.Inc()
 			b.m.Bus.Do(p, bus.Transaction{
 				Op: bus.WriteActionTable, PAddr: w.PAddr, Requester: b.ID, Action: uint8(monitor.Ignore),
 			})
@@ -775,12 +828,12 @@ func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
 				b.Cache.Invalidate(sl)
 				b.detachSlot(frame, fi, sl)
 			}
-			b.stats.InvalidationsIn++
+			b.ctr.invalidationsIn.Inc()
 			b.m.Bus.Do(p, bus.Transaction{
 				Op: bus.WriteActionTable, PAddr: w.PAddr, Requester: b.ID, Action: uint8(monitor.Ignore),
 			})
 		} else {
-			b.stats.Violations++
+			b.ctr.violations.Inc()
 		}
 	}
 }
@@ -792,7 +845,7 @@ func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
 // for them were aborted and will be retried, and any words still queued
 // are serviced by the caller after the sweep.
 func (b *Board) recoverOverflow(p *sim.Process) {
-	b.stats.Recoveries++
+	b.ctr.recoveries.Inc()
 	b.Mon.ClearDropped()
 
 	framesSorted := make([]uint32, 0, len(b.frames))

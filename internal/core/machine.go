@@ -239,7 +239,7 @@ func (m *Machine) Performance(boardID int) float64 {
 	if elapsed == 0 {
 		return 0
 	}
-	ideal := sim.Time(b.stats.Refs) * m.cfg.Timing.RefTime()
+	ideal := sim.Time(b.Stats().Refs) * m.cfg.Timing.RefTime()
 	return float64(ideal) / float64(elapsed)
 }
 

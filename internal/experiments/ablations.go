@@ -16,14 +16,6 @@ import (
 	"vmp/internal/workload"
 )
 
-func newMachine(procs int, cacheSize int) (*core.Machine, error) {
-	return core.NewMachine(core.Config{
-		Processors: procs,
-		Cache:      cache.Geometry(cacheSize, 256, 4),
-		MemorySize: 8 << 20,
-	})
-}
-
 // AblationLocks compares conventional test-and-set spinning on cached
 // memory against the paper's notification locks (Section 5.4): total
 // completion time, bus utilization and consistency events for the same
@@ -40,7 +32,7 @@ func AblationLocks(o Options) (*Result, error) {
 		aborts     uint64
 	}
 	run := func(useNotify bool, procs int) (outcome, error) {
-		m, err := newMachine(procs, 64<<10)
+		m, err := o.newMachine(procs, 64<<10)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -147,7 +139,7 @@ func AblationProtocols(o Options) (*Result, error) {
 		scale := 1000 / float64(totalRefs)
 
 		// VMP: full machine.
-		vmpStats, err := runVMPStreams(pat.streams)
+		vmpStats, err := runVMPStreams(o, pat.streams)
 		if err != nil {
 			return nil, err
 		}
@@ -195,8 +187,8 @@ func vmpTxCount(s bus.Stats) uint64 {
 
 // runVMPStreams replays per-processor streams on a full VMP machine and
 // returns the bus statistics.
-func runVMPStreams(streams [][]trace.Ref) (bus.Stats, error) {
-	m, err := newMachine(len(streams), 64<<10)
+func runVMPStreams(o Options, streams [][]trace.Ref) (bus.Stats, error) {
+	m, err := o.newMachine(len(streams), 64<<10)
 	if err != nil {
 		return bus.Stats{}, err
 	}
@@ -227,7 +219,7 @@ func AblationCopier(o Options) (*Result, error) {
 	t := stats.NewTable("Block copier vs CPU copy loop",
 		"Mover", "Page Size", "Bandwidth (MB/s)", "Bus Occupancy (%)")
 	for _, ps := range []int{128, 256, 512} {
-		eng := sim.NewEngine()
+		eng := o.engine()
 		b := bus.New(eng)
 		cop := copier.New(eng, b, 0)
 		var blockElapsed, cpuElapsed sim.Time
@@ -271,7 +263,7 @@ func AblationReadPrivate(o Options) (*Result, error) {
 		pages = 60
 	}
 	run := func(hint bool) (elapsed sim.Time, asserts uint64, err error) {
-		m, err := newMachine(1, 128<<10)
+		m, err := o.newMachine(1, 128<<10)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -337,7 +329,7 @@ func AblationScaling(o Options) (*Result, error) {
 	}
 	var xs, ys []float64
 	for _, n := range counts {
-		m, err := newMachine(n, 128<<10)
+		m, err := o.newMachine(n, 128<<10)
 		if err != nil {
 			return nil, err
 		}
@@ -409,7 +401,7 @@ func AblationFIFO(o Options) (*Result, error) {
 			MemorySize: 8 << 20,
 			FIFODepth:  depth,
 		}
-		m, err := core.NewMachine(cfg)
+		m, err := o.machine(cfg)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -473,7 +465,7 @@ func AblationAlias(o Options) (*Result, error) {
 	if o.Quick {
 		flips = 30
 	}
-	m, err := newMachine(1, 64<<10)
+	m, err := o.newMachine(1, 64<<10)
 	if err != nil {
 		return nil, err
 	}
@@ -529,7 +521,7 @@ func AblationTranslation(o Options) (*Result, error) {
 	if o.Quick {
 		remaps = 15
 	}
-	m, err := newMachine(2, 64<<10)
+	m, err := o.newMachine(2, 64<<10)
 	if err != nil {
 		return nil, err
 	}

@@ -31,7 +31,7 @@ func AblationConsistency(o Options) (*Result, error) {
 	const sharedPages = 16 // 4 KB of contended data
 
 	run := func(sharePct int) (missRatio, perf float64, intr uint64, err error) {
-		m, err := newMachine(procs, 128<<10)
+		m, err := o.newMachine(procs, 128<<10)
 		if err != nil {
 			return 0, 0, 0, err
 		}

@@ -4,11 +4,24 @@
 // a rendered table (and an ASCII plot for the figures) side by side
 // with the values the paper reports, so EXPERIMENTS.md can record
 // paper-vs-measured for every artifact.
+//
+// Experiments are registered once in the Registry table below and
+// consumed everywhere else — the CLI, the benchmarks, and the smoke
+// tests all iterate the same descriptors. Every experiment is
+// self-contained: it builds its own machines and engines through the
+// Options helpers, which thread a per-run metrics sink and let RunAll
+// execute independent experiments concurrently while keeping each run
+// byte-identical to a serial execution.
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"vmp/internal/stats"
 )
@@ -18,8 +31,15 @@ type Options struct {
 	// Quick shrinks trace lengths and sweep densities for smoke runs
 	// and benchmarks.
 	Quick bool
-	// Seed feeds every stochastic workload.
+	// Seed feeds every stochastic workload. The run layer mixes it with
+	// the experiment ID, so each experiment sees its own stream and the
+	// result does not depend on which worker ran it or in what order.
 	Seed uint64
+
+	// track collects the engines a run constructs, so the run layer can
+	// aggregate engine metrics after the runner returns. It is shared by
+	// value copies of Options and nil when a runner is called directly.
+	track *engineTrack
 }
 
 // DefaultOptions runs experiments at full fidelity.
@@ -32,13 +52,37 @@ func (o Options) traceLen() int {
 	return 450_000
 }
 
+// seedFor derives the per-experiment seed: an FNV-1a hash of the ID
+// mixed into the base seed through a splitmix64 finalizer. The same
+// (base, id) pair always yields the same stream, so serial and parallel
+// runs agree byte for byte.
+func seedFor(base uint64, id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	x := base ^ h
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D49BB133111EB
+	x ^= x >> 31
+	return x
+}
+
 // Result is one regenerated artifact.
 type Result struct {
-	ID        string // e.g. "table1", "fig4", "ablation-locks"
+	ID        string // e.g. "table1", "fig4", "locks"
 	Title     string
 	Table     *stats.Table
 	Plot      *stats.Plot
 	PaperNote string // what the paper reports, for comparison
+
+	// Metrics reports the engine activity behind the artifact. It is
+	// filled in by the run layer, not by the experiment itself, and is
+	// deliberately excluded from the rendered table so tables stay
+	// byte-identical across runs.
+	Metrics Metrics
 }
 
 // String renders the result for a terminal.
@@ -56,79 +100,189 @@ func (r *Result) String() string {
 	return out
 }
 
-// runner produces one experiment.
-type runner struct {
-	id  string
-	fn  func(Options) (*Result, error)
-	doc string
+// Cost classifies an experiment's runtime so callers can budget: Light
+// finishes in well under a second even at full fidelity, Moderate in a
+// few seconds, Heavy sweeps several machine configurations.
+type Cost int
+
+// Cost classes.
+const (
+	Light Cost = iota
+	Moderate
+	Heavy
+)
+
+// String names the cost class.
+func (c Cost) String() string {
+	switch c {
+	case Light:
+		return "light"
+	case Moderate:
+		return "moderate"
+	case Heavy:
+		return "heavy"
+	default:
+		return fmt.Sprintf("Cost(%d)", int(c))
+	}
 }
 
-var registry = []runner{
-	{"fig1", Figure1, "processor board organization (diagram artifact)"},
-	{"table1", Table1, "elapsed and bus time per cache miss"},
-	{"table2", Table2, "average cache miss cost (75% clean victims)"},
-	{"fig2", Figure2Timing, "action-table update within a bus transaction"},
-	{"fig3", Figure3, "processor performance vs cache miss ratio"},
-	{"fig4", Figure4, "cold-start miss ratio vs cache size"},
-	{"fig5", Figure5, "bus utilization vs miss ratio; processors per bus"},
-	{"locks", AblationLocks, "test-and-set spinning vs notification locks"},
-	{"protocols", AblationProtocols, "VMP vs snoopy write-invalidate/write-broadcast vs MIPS-X"},
-	{"copier", AblationCopier, "block copier vs CPU copy loop"},
-	{"readprivate", AblationReadPrivate, "read-private-on-read hint for unshared regions"},
-	{"scaling", AblationScaling, "per-processor performance vs number of processors"},
-	{"fifo", AblationFIFO, "FIFO depth and overflow recovery"},
-	{"alias", AblationAlias, "virtual-address alias consistency cost"},
-	{"translation", AblationTranslation, "translation-consistency (remap) cost"},
-	{"clustering", AblationClustering, "clustering related data on cache pages"},
-	{"asid", AblationASID, "ASID tags vs cache flush on context switch"},
-	{"pagecontention", AblationPageContention, "false-sharing cost vs page size"},
-	{"spinfair", AblationSpinFairness, "naive vs backoff spinning in machine code"},
-	{"assoc", AblationAssociativity, "miss ratio vs cache associativity"},
-	{"app", AblationParallelApp, "parallel application speedup"},
-	{"ipc", AblationIPC, "mailbox IPC latency via bus-monitor notification"},
-	{"workqueue", AblationWorkQueue, "shared work queue with notification locking"},
-	{"consistency", AblationConsistency, "consistency interrupts as effective miss-ratio inflation"},
+// Experiment describes one registered artifact generator.
+type Experiment struct {
+	ID       string // stable identifier, e.g. "table1"
+	Title    string // one-line description
+	Artifact string // the paper artifact it reproduces, e.g. "Table 1"
+	Cost     Cost
+	Run      func(Options) (*Result, error)
+}
+
+// Registry is the single table of every experiment, in run order. All
+// dispatch — the CLI, benchmarks, smoke tests, RunAll — goes through
+// it.
+var Registry = []Experiment{
+	{"fig1", "processor board organization (diagram artifact)", "Figure 1", Light, Figure1},
+	{"table1", "elapsed and bus time per cache miss", "Table 1", Moderate, Table1},
+	{"table2", "average cache miss cost (75% clean victims)", "Table 2", Light, Table2},
+	{"fig2", "action-table update within a bus transaction", "Figure 2", Light, Figure2Timing},
+	{"fig3", "processor performance vs cache miss ratio", "Figure 3", Moderate, Figure3},
+	{"fig4", "cold-start miss ratio vs cache size", "Figure 4", Heavy, Figure4},
+	{"fig5", "bus utilization vs miss ratio; processors per bus", "Figure 5", Moderate, Figure5},
+	{"locks", "test-and-set spinning vs notification locks", "Section 5.4", Moderate, AblationLocks},
+	{"protocols", "VMP vs snoopy write-invalidate/write-broadcast vs MIPS-X", "Section 6", Heavy, AblationProtocols},
+	{"copier", "block copier vs CPU copy loop", "Section 5.2", Light, AblationCopier},
+	{"readprivate", "read-private-on-read hint for unshared regions", "Section 5.4", Moderate, AblationReadPrivate},
+	{"scaling", "per-processor performance vs number of processors", "Section 5.3", Heavy, AblationScaling},
+	{"fifo", "FIFO depth and overflow recovery", "Section 3.2", Moderate, AblationFIFO},
+	{"alias", "virtual-address alias consistency cost", "Section 4.1", Light, AblationAlias},
+	{"translation", "translation-consistency (remap) cost", "Section 4.2", Light, AblationTranslation},
+	{"clustering", "clustering related data on cache pages", "Section 5.4", Moderate, AblationClustering},
+	{"asid", "ASID tags vs cache flush on context switch", "Section 4.1", Moderate, AblationASID},
+	{"pagecontention", "false-sharing cost vs page size", "Section 5.4", Moderate, AblationPageContention},
+	{"spinfair", "naive vs backoff spinning in machine code", "Section 5.4", Moderate, AblationSpinFairness},
+	{"assoc", "miss ratio vs cache associativity", "Section 2", Heavy, AblationAssociativity},
+	{"app", "parallel application speedup", "Section 5.3", Heavy, AblationParallelApp},
+	{"ipc", "mailbox IPC latency via bus-monitor notification", "Section 5.4", Light, AblationIPC},
+	{"workqueue", "shared work queue with notification locking", "Section 5.4", Moderate, AblationWorkQueue},
+	{"consistency", "consistency interrupts as effective miss-ratio inflation", "Section 5.1", Moderate, AblationConsistency},
+}
+
+// byID indexes Registry for dispatch.
+var byID = func() map[string]*Experiment {
+	m := make(map[string]*Experiment, len(Registry))
+	for i := range Registry {
+		m[Registry[i].ID] = &Registry[i]
+	}
+	return m
+}()
+
+// All returns the registered experiments in run order.
+func All() []Experiment {
+	out := make([]Experiment, len(Registry))
+	copy(out, Registry)
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (*Experiment, bool) {
+	e, ok := byID[id]
+	return e, ok
 }
 
 // IDs returns the experiment identifiers in run order.
 func IDs() []string {
-	out := make([]string, len(registry))
-	for i, r := range registry {
-		out[i] = r.id
+	out := make([]string, len(Registry))
+	for i := range Registry {
+		out[i] = Registry[i].ID
 	}
 	return out
 }
 
 // Describe returns a one-line description per experiment ID.
 func Describe() map[string]string {
-	out := make(map[string]string, len(registry))
-	for _, r := range registry {
-		out[r.id] = r.doc
+	out := make(map[string]string, len(Registry))
+	for i := range Registry {
+		out[Registry[i].ID] = Registry[i].Title
 	}
 	return out
 }
 
-// Run executes one experiment by ID.
-func Run(id string, o Options) (*Result, error) {
-	for _, r := range registry {
-		if r.id == id {
-			return r.fn(o)
-		}
-	}
-	known := IDs()
-	sort.Strings(known)
-	return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+// UnknownIDError reports a Run request for an ID that is not
+// registered, carrying the valid IDs for the caller to print.
+type UnknownIDError struct {
+	ID    string
+	Known []string // sorted
 }
 
-// RunAll executes every experiment in order.
-func RunAll(o Options) ([]*Result, error) {
-	var out []*Result
-	for _, r := range registry {
-		res, err := r.fn(o)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", r.id, err)
-		}
-		out = append(out, res)
+// Error implements error.
+func (e *UnknownIDError) Error() string {
+	return fmt.Sprintf("experiments: unknown id %q (known: %v)", e.ID, e.Known)
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) (*Result, error) {
+	e, ok := byID[id]
+	if !ok {
+		known := IDs()
+		sort.Strings(known)
+		return nil, &UnknownIDError{ID: id, Known: known}
 	}
-	return out, nil
+	return runOne(e, o)
+}
+
+// runOne executes one experiment with its derived seed and a fresh
+// engine tracker, and stamps the aggregated engine metrics on the
+// result. It is the single execution path shared by Run and RunAll, so
+// an experiment behaves identically however it is invoked.
+func runOne(e *Experiment, o Options) (*Result, error) {
+	ro := o
+	ro.Seed = seedFor(o.Seed, e.ID)
+	ro.track = &engineTrack{}
+	start := time.Now()
+	res, err := e.Run(ro)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	res.Metrics = ro.track.metrics(time.Since(start))
+	return res, nil
+}
+
+// RunAll executes every registered experiment and returns the results
+// in Registry order. Up to workers experiments run concurrently
+// (workers <= 0 selects GOMAXPROCS); each experiment's result is
+// byte-identical to a serial run because seeds derive from the
+// experiment ID, not from scheduling order. Failed experiments are
+// omitted from the results and their errors joined.
+func RunAll(o Options, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(Registry) {
+		workers = len(Registry)
+	}
+
+	results := make([]*Result, len(Registry))
+	errs := make([]error, len(Registry))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(Registry) {
+					return
+				}
+				results[i], errs[i] = runOne(&Registry[i], o)
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := make([]*Result, 0, len(Registry))
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out, errors.Join(errs...)
 }

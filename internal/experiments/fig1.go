@@ -16,7 +16,7 @@ import (
 // measurement, so the "experiment" reports the configured component
 // parameters alongside.
 func Figure1(o Options) (*Result, error) {
-	m, err := core.NewMachine(core.Config{Processors: 1})
+	m, err := o.machine(core.Config{Processors: 1})
 	if err != nil {
 		return nil, err
 	}

@@ -16,7 +16,7 @@ import (
 // page sizes, using the *measured* average miss costs, cross-checked
 // with full-machine simulations at controlled miss ratios.
 func Figure3(o Options) (*Result, error) {
-	avgs, err := averageMissCosts()
+	avgs, err := averageMissCosts(o)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +76,7 @@ func measureControlledPerformance(o Options, missRatio float64) (float64, error)
 		Cache:      cache.Geometry(128<<10, 256, 4),
 		MemorySize: 8 << 20,
 	}
-	m, err := core.NewMachine(cfg)
+	m, err := o.machine(cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -168,7 +168,7 @@ func Figure4(o Options) (*Result, error) {
 // Figure5 regenerates "Bus Utilization to Cache Miss Ratio" plus the
 // Section 5.3 estimate of how many processors one bus supports.
 func Figure5(o Options) (*Result, error) {
-	avgs, err := averageMissCosts()
+	avgs, err := averageMissCosts(o)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +233,7 @@ func Figure5(o Options) (*Result, error) {
 // measureTraceUtilization runs one trace-driven processor and returns
 // its measured bus utilization and fill-based miss ratio.
 func measureTraceUtilization(o Options) (util, missRatio float64, err error) {
-	m, err := core.NewMachine(core.Config{
+	m, err := o.machine(core.Config{
 		Processors: 1,
 		Cache:      cache.Geometry(128<<10, 256, 4),
 		MemorySize: 8 << 20,

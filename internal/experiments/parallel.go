@@ -23,7 +23,7 @@ func AblationParallelApp(o Options) (*Result, error) {
 	const inputBase, resultBase, partialBase = 0x100000, 0x300000, 0x400000
 
 	run := func(procs int) (sim.Time, float64, error) {
-		m, err := newMachine(procs, 128<<10)
+		m, err := o.newMachine(procs, 128<<10)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -131,7 +131,7 @@ func AblationIPC(o Options) (*Result, error) {
 	if o.Quick {
 		rounds = 60
 	}
-	m, err := newMachine(2, 64<<10)
+	m, err := o.newMachine(2, 64<<10)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRegistryDescriptors checks every registry entry is fully
+// populated and reachable through the dispatch helpers.
+func TestRegistryDescriptors(t *testing.T) {
+	if len(Registry) != len(IDs()) {
+		t.Fatalf("Registry has %d entries, IDs %d", len(Registry), len(IDs()))
+	}
+	for _, e := range Registry {
+		if e.ID == "" || e.Title == "" || e.Artifact == "" {
+			t.Errorf("incomplete descriptor: %+v", e)
+		}
+		if e.Run == nil {
+			t.Errorf("%s: nil runner", e.ID)
+		}
+		if e.Cost.String() == "" {
+			t.Errorf("%s: unnamed cost class", e.ID)
+		}
+		got, ok := Lookup(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("Lookup(%q) = %v, %v", e.ID, got, ok)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("Lookup accepted an unknown id")
+	}
+	// All returns a copy: mutating it must not corrupt the registry.
+	all := All()
+	all[0].ID = "clobbered"
+	if Registry[0].ID == "clobbered" {
+		t.Error("All() aliases the registry")
+	}
+}
+
+// TestRunUnknownIDStructured checks the CLI can recover the valid IDs
+// from the error.
+func TestRunUnknownIDStructured(t *testing.T) {
+	_, err := Run("nonsense", DefaultOptions())
+	var ue *UnknownIDError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want UnknownIDError, got %v", err)
+	}
+	if ue.ID != "nonsense" || len(ue.Known) != len(Registry) {
+		t.Errorf("bad error payload: %+v", ue)
+	}
+}
+
+// TestSeedDerivation checks per-experiment seeds are stable and
+// distinct, the property that makes parallel runs order-independent.
+func TestSeedDerivation(t *testing.T) {
+	if seedFor(11, "table1") != seedFor(11, "table1") {
+		t.Error("seedFor not stable")
+	}
+	seen := map[uint64]string{}
+	for _, id := range IDs() {
+		s := seedFor(11, id)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision: %s and %s", prev, id)
+		}
+		seen[s] = id
+	}
+}
+
+// TestSerialParallelIdentical is the run layer's core promise: the same
+// options produce byte-identical rendered results for every experiment
+// whether the set runs on one worker or many.
+func TestSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serial+parallel sweep in -short mode")
+	}
+	o := Options{Quick: true, Seed: 3}
+	serial, err := RunAll(o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAll(o, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial %d results, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, serial[i].ID, parallel[i].ID)
+		}
+		if serial[i].String() != parallel[i].String() {
+			t.Errorf("%s: serial and parallel outputs differ", serial[i].ID)
+		}
+	}
+	// Run must agree with RunAll too — one execution path.
+	for _, id := range []string{"table1", "locks"} {
+		r, err := Run(id, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i].ID == id && serial[i].String() != r.String() {
+				t.Errorf("%s: Run and RunAll outputs differ", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"time"
+
+	"vmp/internal/cache"
+	"vmp/internal/core"
+	"vmp/internal/sim"
+)
+
+// engineTrack collects every engine one experiment run constructs, so
+// the run layer can aggregate engine metrics after the runner returns.
+// It is run-confined: a fresh tracker is made per runOne call and only
+// that experiment's helpers append to it.
+type engineTrack struct {
+	engines []*sim.Engine
+}
+
+func (t *engineTrack) add(e *sim.Engine) {
+	if t != nil {
+		t.engines = append(t.engines, e)
+	}
+}
+
+// Metrics aggregates engine activity across every engine one
+// experiment run built (sweeps build a machine per configuration).
+type Metrics struct {
+	Wall            time.Duration // wall-clock time for the whole run
+	SimTime         sim.Time      // summed simulated time across engines
+	EventsFired     uint64
+	EventsScheduled uint64
+	MaxQueueDepth   int // high-water event-queue depth over all engines
+	Engines         int // engines (machines) the run constructed
+}
+
+func (t *engineTrack) metrics(wall time.Duration) Metrics {
+	m := Metrics{Wall: wall}
+	for _, e := range t.engines {
+		em := e.Metrics()
+		m.SimTime += e.Now()
+		m.EventsFired += em.EventsFired
+		m.EventsScheduled += em.EventsScheduled
+		if em.MaxQueueDepth > m.MaxQueueDepth {
+			m.MaxQueueDepth = em.MaxQueueDepth
+		}
+		m.Engines++
+	}
+	return m
+}
+
+// SimNsPerWallMs reports simulated nanoseconds advanced per wall-clock
+// millisecond — the run layer's headline throughput figure.
+func (m Metrics) SimNsPerWallMs() float64 {
+	ms := float64(m.Wall) / float64(time.Millisecond)
+	if ms <= 0 {
+		return 0
+	}
+	return float64(m.SimTime) / ms
+}
+
+// engine builds a bare simulation engine, registered with the run's
+// tracker. Experiments that need an engine without a full machine
+// (e.g. the copier ablation) must use this instead of sim.NewEngine so
+// their activity shows up in the run metrics.
+func (o Options) engine() *sim.Engine {
+	eng := sim.NewEngine()
+	o.track.add(eng)
+	return eng
+}
+
+// machine builds a core.Machine from an explicit configuration,
+// registered with the run's tracker.
+func (o Options) machine(cfg core.Config) (*core.Machine, error) {
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o.track.add(m.Eng)
+	return m, nil
+}
+
+// newMachine builds the experiments' standard machine shape: procs
+// processors, a cacheSize-byte cache of 256-byte pages, 4-way, and 8 MB
+// of main memory.
+func (o Options) newMachine(procs, cacheSize int) (*core.Machine, error) {
+	return o.machine(core.Config{
+		Processors: procs,
+		Cache:      cache.Geometry(cacheSize, 256, 4),
+		MemorySize: 8 << 20,
+	})
+}

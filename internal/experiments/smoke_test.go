@@ -2,10 +2,11 @@ package experiments
 
 import "testing"
 
-// TestSmokeAll regenerates every artifact in quick mode and checks each
-// produces a table (figures also a plot).
+// TestSmokeAll regenerates every artifact in quick mode across parallel
+// workers and checks each produces a table (figures also a plot) and
+// carries engine metrics.
 func TestSmokeAll(t *testing.T) {
-	res, err := RunAll(Options{Quick: true, Seed: 11})
+	res, err := RunAll(Options{Quick: true, Seed: 11}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,6 +20,18 @@ func TestSmokeAll(t *testing.T) {
 		if r.ID == "fig3" || r.ID == "fig4" || r.ID == "fig5" {
 			if r.Plot == nil {
 				t.Errorf("%s: no plot", r.ID)
+			}
+		}
+		// Any experiment that advanced simulated time must report engine
+		// activity through the run metrics. (Trace-driven miss-ratio
+		// studies run the cache with no engine; fig1/fig2 build a machine
+		// only to introspect its configuration.)
+		if r.Metrics.SimTime > 0 && r.Metrics.EventsFired == 0 {
+			t.Errorf("%s: sim time advanced but no events recorded", r.ID)
+		}
+		if r.ID == "table1" || r.ID == "locks" {
+			if r.Metrics.EventsFired == 0 || r.Metrics.SimTime == 0 || r.Metrics.Wall <= 0 {
+				t.Errorf("%s: incomplete run metrics %+v", r.ID, r.Metrics)
 			}
 		}
 		t.Log("\n" + r.String())

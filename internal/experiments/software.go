@@ -83,7 +83,7 @@ func AblationASID(o Options) (*Result, error) {
 		refsEach = 12_000
 	}
 	run := func(flush bool, quantum sim.Time) (sim.Time, uint64, int, error) {
-		m, err := newMachine(1, 128<<10)
+		m, err := o.newMachine(1, 128<<10)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -156,7 +156,7 @@ func AblationPageContention(o Options) (*Result, error) {
 
 	for _, ps := range []int{128, 256, 512} {
 		streams := workload.FalseSharing(procs, 0x40000, ps, rounds)
-		m, err := core.NewMachine(core.Config{
+		m, err := o.machine(core.Config{
 			Processors: procs,
 			Cache:      cache.Geometry(64<<10, ps, 4),
 			MemorySize: 8 << 20,

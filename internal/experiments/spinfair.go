@@ -69,7 +69,7 @@ func AblationSpinFairness(o Options) (*Result, error) {
 		window = 8 * sim.Millisecond
 	}
 	run := func(src string) (uint32, uint64, error) {
-		m, err := newMachine(4, 64<<10)
+		m, err := o.newMachine(4, 64<<10)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -22,7 +22,7 @@ type missCost struct {
 // entries), page B conflicts A out, and the timed miss re-fetches A with
 // B as the victim — clean or dirty depending on the scenario. Timing is
 // measured, not recomputed from the constants.
-func measureMissCosts() ([]missCost, error) {
+func measureMissCosts(o Options) ([]missCost, error) {
 	var out []missCost
 	for _, ps := range []int{128, 256, 512} {
 		for _, dirty := range []bool{false, true} {
@@ -31,7 +31,7 @@ func measureMissCosts() ([]missCost, error) {
 				Cache:      cache.Config{PageSize: ps, Rows: 16, Assoc: 1},
 				MemorySize: 4 << 20,
 			}
-			m, err := core.NewMachine(cfg)
+			m, err := o.machine(cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -79,7 +79,7 @@ var paperTable1 = map[int]map[bool][2]float64{
 
 // Table1 regenerates "Elapsed Time and Bus Time per Cache Miss".
 func Table1(o Options) (*Result, error) {
-	costs, err := measureMissCosts()
+	costs, err := measureMissCosts(o)
 	if err != nil {
 		return nil, err
 	}
@@ -111,8 +111,8 @@ type avgCost struct {
 	busTime  sim.Time
 }
 
-func averageMissCosts() ([]avgCost, error) {
-	costs, err := measureMissCosts()
+func averageMissCosts(o Options) ([]avgCost, error) {
+	costs, err := measureMissCosts(o)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +138,7 @@ func averageMissCosts() ([]avgCost, error) {
 // Table2 regenerates "Average Cache Miss Cost" (75% of replaced pages
 // unmodified).
 func Table2(o Options) (*Result, error) {
-	avgs, err := averageMissCosts()
+	avgs, err := averageMissCosts(o)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +166,7 @@ func Table2(o Options) (*Result, error) {
 // overlapped consistency-check and action-table-update windows of
 // Figure 2.
 func Figure2Timing(o Options) (*Result, error) {
-	m, err := core.NewMachine(core.Config{Processors: 1})
+	m, err := o.machine(core.Config{Processors: 1})
 	if err != nil {
 		return nil, err
 	}

@@ -28,7 +28,7 @@ func AblationWorkQueue(o Options) (*Result, error) {
 		workInstr  = 400 // per-item compute
 	)
 	run := func(workers int) (sim.Time, float64, error) {
-		m, err := newMachine(workers, 64<<10)
+		m, err := o.newMachine(workers, 64<<10)
 		if err != nil {
 			return 0, 0, err
 		}

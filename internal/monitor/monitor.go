@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"vmp/internal/bus"
+	"vmp/internal/stats"
 )
 
 // Action is a two-bit action-table entry.
@@ -78,6 +79,20 @@ type Stats struct {
 	Dropped    uint64 // words lost to FIFO overflow
 }
 
+// monitorCounters is the recorder-backed counter set for one monitor.
+type monitorCounters struct {
+	checks, aborts, interrupts, droppedWords *stats.Counter
+}
+
+func bindMonitorCounters(rec *stats.Recorder, prefix string) monitorCounters {
+	return monitorCounters{
+		checks:       rec.Counter(prefix + "checks"),
+		aborts:       rec.Counter(prefix + "aborts"),
+		interrupts:   rec.Counter(prefix + "interrupts"),
+		droppedWords: rec.Counter(prefix + "dropped-words"),
+	}
+}
+
 // Monitor is one processor board's bus monitor. Create with New.
 type Monitor struct {
 	boardID  int
@@ -87,13 +102,14 @@ type Monitor struct {
 	fifo     []Word // ring buffer
 	head, n  int
 	dropped  bool
-	stats    Stats
+	ctr      monitorCounters
 	onPost   func() // interrupt line to the processor, may be nil
 }
 
 // New creates a monitor for board boardID covering a physical memory of
 // frames cache page frames of pageSize bytes each, with the given FIFO
-// depth (0 selects DefaultFIFODepth).
+// depth (0 selects DefaultFIFODepth). The monitor counts events into a
+// private recorder until BindRecorder attaches it to a run's sink.
 func New(boardID, frames, pageSize, fifoDepth int) *Monitor {
 	if fifoDepth <= 0 {
 		fifoDepth = DefaultFIFODepth
@@ -104,7 +120,15 @@ func New(boardID, frames, pageSize, fifoDepth int) *Monitor {
 		table:    make([]uint8, (frames+3)/4),
 		frames:   frames,
 		fifo:     make([]Word, fifoDepth),
+		ctr:      bindMonitorCounters(stats.NewRecorder(), "monitor/"),
 	}
+}
+
+// BindRecorder re-registers the monitor's counters in a per-run metrics
+// sink under the given name prefix (e.g. "board0/monitor/"). Call it
+// before the simulation starts.
+func (m *Monitor) BindRecorder(rec *stats.Recorder, prefix string) {
+	m.ctr = bindMonitorCounters(rec, prefix)
 }
 
 // BoardID implements bus.Snooper.
@@ -115,7 +139,14 @@ func (m *Monitor) BoardID() int { return m.boardID }
 func (m *Monitor) SetInterruptLine(fn func()) { m.onPost = fn }
 
 // Stats returns a copy of the counters.
-func (m *Monitor) Stats() Stats { return m.stats }
+func (m *Monitor) Stats() Stats {
+	return Stats{
+		Checks:     uint64(m.ctr.checks.Value()),
+		Aborts:     uint64(m.ctr.aborts.Value()),
+		Interrupts: uint64(m.ctr.interrupts.Value()),
+		Dropped:    uint64(m.ctr.droppedWords.Value()),
+	}
+}
 
 // frame converts a physical address to its frame number.
 func (m *Monitor) frame(paddr uint32) int { return int(paddr) / m.pageSize }
@@ -145,7 +176,7 @@ func (m *Monitor) SetAction(paddr uint32, a Action) {
 
 // Check implements bus.Snooper: the consistency-check window decision.
 func (m *Monitor) Check(tx bus.Transaction) (abort, interrupt bool) {
-	m.stats.Checks++
+	m.ctr.checks.Inc()
 	act := m.Action(tx.PAddr)
 	own := tx.Requester == m.boardID
 
@@ -164,7 +195,7 @@ func (m *Monitor) Check(tx bus.Transaction) (abort, interrupt bool) {
 		case bus.WriteBack:
 			// A write-back of a page we hold shared is a protocol
 			// violation (someone wrote back a page they did not own).
-			m.stats.Aborts++
+			m.ctr.aborts.Inc()
 			return true, !own
 		}
 	case Private:
@@ -175,7 +206,7 @@ func (m *Monitor) Check(tx bus.Transaction) (abort, interrupt bool) {
 		// Any consistency-related transaction on a page we own must be
 		// aborted so we can release the page first. This includes our
 		// own transactions under a different virtual address (alias).
-		m.stats.Aborts++
+		m.ctr.aborts.Inc()
 		return true, !own
 	case Notify:
 		if tx.Op == bus.Notify {
@@ -191,12 +222,12 @@ func (m *Monitor) Check(tx bus.Transaction) (abort, interrupt bool) {
 func (m *Monitor) Post(tx bus.Transaction) {
 	if m.n == len(m.fifo) {
 		m.dropped = true
-		m.stats.Dropped++
+		m.ctr.droppedWords.Inc()
 		return
 	}
 	m.fifo[(m.head+m.n)%len(m.fifo)] = Word{Op: tx.Op, PAddr: tx.PAddr}
 	m.n++
-	m.stats.Interrupts++
+	m.ctr.interrupts.Inc()
 	if m.onPost != nil {
 		m.onPost()
 	}

@@ -11,11 +11,19 @@
 // other actors through Signal and Semaphore. The engine resumes at most
 // one process at a time, so process code may read and write shared
 // simulation state without locks.
+//
+// Each engine owns a stats.Recorder — the per-run metrics sink that the
+// machine components (bus, caches, monitors, boards) register their
+// counters in. An engine and everything built on it is confined to one
+// run; independent engines share nothing, so whole simulations can run
+// concurrently on separate goroutines.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"time"
+
+	"vmp/internal/stats"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of
@@ -50,48 +58,107 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros reports the time as a floating-point number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// event is a pooled queue entry. Fired events return to the engine's
+// free list, so steady-state simulation allocates no events at all.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	next *event // free-list link while recycled
 }
 
-type eventQueue []*event
+// eventChunkSize is how many events one pool refill allocates.
+const eventChunkSize = 128
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Metrics is a snapshot of the engine's own measurements: how much work
+// the event loop did and how long it took in wall-clock terms. Together
+// with Now() they give sim-ns per wall-ms, the simulator's throughput.
+type Metrics struct {
+	// EventsFired counts events whose callbacks have run.
+	EventsFired uint64
+	// EventsScheduled counts Schedule/At calls.
+	EventsScheduled uint64
+	// MaxQueueDepth is the high-water mark of the pending-event heap.
+	MaxQueueDepth int
+	// Wall is the accumulated wall-clock time spent inside Run/RunUntil.
+	Wall time.Duration
+}
+
+// SimNsPerWallMs reports simulated nanoseconds advanced per wall-clock
+// millisecond of event-loop time (0 if no wall time has accumulated).
+func (m Metrics) SimNsPerWallMs(now Time) float64 {
+	ms := float64(m.Wall) / float64(time.Millisecond)
+	if ms == 0 {
+		return 0
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return float64(now) / ms
 }
 
 // Engine is a discrete-event simulation engine. The zero value is ready
 // to use.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*event // binary heap ordered by (at, seq)
 	seq     uint64
 	stopped bool
 	// procs counts live processes, used to detect leaked coroutines.
 	procs int
+
+	// Event pool: free list refilled from chunk allocations.
+	free  *event
+	chunk []event
+
+	metrics Metrics
+	rec     *stats.Recorder
 }
 
-// NewEngine returns a new engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns a new engine with the clock at zero and the event
+// heap preallocated.
+func NewEngine() *Engine {
+	return &Engine{queue: make([]*event, 0, 256)}
+}
+
+// Recorder returns the engine's per-run metrics sink, creating it on
+// first use (so the zero-value Engine keeps working).
+func (e *Engine) Recorder() *stats.Recorder {
+	if e.rec == nil {
+		e.rec = stats.NewRecorder()
+	}
+	return e.rec
+}
+
+// SetRecorder replaces the engine's metrics sink. Call before building
+// components on the engine; counters already handed out keep pointing
+// at the old sink.
+func (e *Engine) SetRecorder(r *stats.Recorder) { e.rec = r }
+
+// Metrics returns a snapshot of the engine's event-loop measurements.
+func (e *Engine) Metrics() Metrics { return e.metrics }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// alloc takes an event from the pool, refilling it a chunk at a time.
+func (e *Engine) alloc() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	if len(e.chunk) == 0 {
+		e.chunk = make([]event, eventChunkSize)
+	}
+	ev := &e.chunk[0]
+	e.chunk = e.chunk[1:]
+	return ev
+}
+
+// recycle clears an event and returns it to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // Schedule runs fn after delay d. A negative delay is an error in the
 // caller; Schedule panics to surface the bug immediately.
@@ -108,7 +175,66 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule in the past: %v < now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	e.push(ev)
+	e.metrics.EventsScheduled++
+	if len(e.queue) > e.metrics.MaxQueueDepth {
+		e.metrics.MaxQueueDepth = len(e.queue)
+	}
+}
+
+// before reports whether a fires before b: earlier time, or same time
+// and scheduled earlier.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an event into the heap (hand-rolled to keep the hot path
+// free of interface conversions).
+func (e *Engine) push(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && before(q[l], q[least]) {
+			least = l
+		}
+		if r < n && before(q[r], q[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	e.queue = q
+	return top
 }
 
 // Stop makes the current Run call return after the in-flight event
@@ -127,6 +253,8 @@ func (e *Engine) Run() Time { return e.RunUntil(-1) }
 // deadline). Events exactly at the deadline still fire. The clock is
 // advanced to the deadline if it is reached.
 func (e *Engine) RunUntil(deadline Time) Time {
+	start := time.Now()
+	defer func() { e.metrics.Wall += time.Since(start) }()
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		next := e.queue[0]
@@ -134,9 +262,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			e.now = deadline
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.pop()
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		e.recycle(next)
+		e.metrics.EventsFired++
+		fn()
 	}
 	if deadline >= 0 && e.now < deadline {
 		e.now = deadline

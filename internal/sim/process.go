@@ -18,6 +18,9 @@ type Process struct {
 	// blocked is true while the process waits for an external wake
 	// (Signal/Semaphore/Pause) rather than a self-scheduled Delay.
 	blocked bool
+	// stepFn is the step method value, bound once so the Delay/Wake hot
+	// path does not allocate a fresh closure per call.
+	stepFn func()
 }
 
 // Spawn starts body as a new simulated process. The body begins executing
@@ -31,6 +34,7 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	p.stepFn = p.step
 	e.procs++
 	go func() {
 		<-p.resume
@@ -39,7 +43,7 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 		p.eng.procs--
 		p.yield <- struct{}{}
 	}()
-	e.Schedule(0, p.step)
+	e.Schedule(0, p.stepFn)
 	return p
 }
 
@@ -78,7 +82,7 @@ func (p *Process) switchOut() {
 // Delay advances this process's local activity by d simulated time.
 // Other events and processes run in the meantime.
 func (p *Process) Delay(d Time) {
-	p.eng.Schedule(d, p.step)
+	p.eng.Schedule(d, p.stepFn)
 	p.switchOut()
 }
 
@@ -101,7 +105,7 @@ func (p *Process) Wake() {
 		panic("sim: Wake of a process that is not paused: " + p.name)
 	}
 	p.blocked = false
-	p.eng.Schedule(0, p.step)
+	p.eng.Schedule(0, p.stepFn)
 }
 
 // Signal is a broadcast condition variable for processes. The zero
