@@ -12,6 +12,8 @@
 //	vmpbench -csv            # also print each table as CSV
 //	vmpbench -json           # machine-readable results on stdout
 //	vmpbench -md             # EXPERIMENTS.md-style markdown on stdout
+//	vmpbench -run fault-sweep -faults abort=0.05 -check
+//	                         # fault injection + invariant watchdog
 //
 // Results are deterministic for a given -seed regardless of -workers:
 // each experiment's workload seed derives from the id, not from
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"vmp/internal/experiments"
+	"vmp/internal/fault"
 	"vmp/internal/stats"
 )
 
@@ -41,6 +44,8 @@ func main() {
 		csv     = flag.Bool("csv", false, "also emit each table as CSV")
 		jsonOut = flag.Bool("json", false, "emit machine-readable JSON results")
 		mdOut   = flag.Bool("md", false, "emit EXPERIMENTS.md-style markdown")
+		faults  = flag.String("faults", "", "inject faults into every machine, e.g. abort=0.05,copy=0.02 (empty/none = off)")
+		check   = flag.Bool("check", false, "enable the protocol invariant watchdog on every machine")
 	)
 	flag.Parse()
 
@@ -51,7 +56,12 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	spec, ferr := fault.Parse(*faults)
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", ferr)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Faults: spec, Check: *check}
 
 	var results []*experiments.Result
 	var err error

@@ -7,17 +7,20 @@
 //	vmpsim -procs 4 -cache 131072 -page 256 -profile edit -n 200000
 //	vmpsim -procs 2 -trace edit.trc
 //	vmpsim -procs 4 -profile compile -sharekernel
+//	vmpsim -procs 4 -faults abort=0.05,copy=0.02 -check
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"vmp/internal/bus"
 	"vmp/internal/cache"
 	"vmp/internal/core"
+	"vmp/internal/fault"
 	"vmp/internal/stats"
 	"vmp/internal/trace"
 	"vmp/internal/workload"
@@ -39,14 +42,24 @@ func main() {
 		prefault    = flag.Bool("prefault", true, "pre-fault all pages so the run measures steady-state misses")
 		hist        = flag.Bool("hist", false, "print each board's miss-latency histogram")
 		metrics     = flag.Bool("metrics", false, "dump the full per-run metrics sink (every counter)")
+		faults      = flag.String("faults", "", "fault-injection spec, e.g. abort=0.05,copy=0.02,fifo=2,storm=0.1,flip=0.02 (empty/none = off)")
+		checkFlag   = flag.Bool("check", false, "enable the protocol invariant watchdog (implied by -faults)")
 	)
 	flag.Parse()
+
+	spec, err := fault.Parse(*faults)
+	if err != nil {
+		fatal(err)
+	}
 
 	m, err := core.NewMachine(core.Config{
 		Processors: *procs,
 		Cache:      cache.Geometry(*cacheSize, *pageSize, *assoc),
 		MemorySize: *memSize,
 		FIFODepth:  *fifo,
+		Faults:     spec,
+		FaultSeed:  *seed,
+		Watchdog:   *checkFlag,
 	})
 	if err != nil {
 		fatal(err)
@@ -117,6 +130,16 @@ func main() {
 	bt.Add("aborts", bst.Aborts)
 	bt.Add("bytes moved", bst.BytesMoved)
 	fmt.Println(bt)
+
+	if spec.Enabled() || *checkFlag {
+		ft := stats.NewTable("Fault injection & invariant watchdog", "Counter", "Value")
+		for _, mt := range m.Eng.Recorder().Snapshot() {
+			if strings.HasPrefix(mt.Name, "fault/") || strings.HasPrefix(mt.Name, "check/") {
+				ft.Add(mt.Name, mt.Value)
+			}
+		}
+		fmt.Println(ft)
+	}
 
 	if *metrics {
 		fmt.Println(m.Eng.Recorder().Table("Per-run metrics sink"))

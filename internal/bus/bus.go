@@ -108,6 +108,17 @@ type Transaction struct {
 // Result reports the outcome of a transaction.
 type Result struct {
 	Aborted bool
+	// SpuriousAbort marks an abort injected by the fault layer rather
+	// than signalled by a monitor. The requester retries exactly as for a
+	// genuine conflict; the flag exists so the invariant watchdog can
+	// tell an injected abort from an abort with no protocol cause.
+	SpuriousAbort bool
+	// TransferErr marks a block transfer that failed mid-stream (injected
+	// transfer error). Like an abort it has no protocol side effects —
+	// no action-table update, no bytes counted — but it is reported
+	// separately so the copier re-issues the transfer instead of the
+	// board re-running the whole miss.
+	TransferErr bool
 }
 
 // Snooper is the bus-side interface of a bus monitor.
@@ -123,6 +134,19 @@ type Snooper interface {
 	// UpdateFromOwn applies the action-table side effect of a
 	// successful transaction issued by this monitor's own processor.
 	UpdateFromOwn(tx Transaction)
+}
+
+// Injector is the fault-injection hook consulted by Do. Both methods
+// are called at most once per transaction, under the bus semaphore, so
+// a deterministic injector yields a deterministic fault sequence.
+type Injector interface {
+	// AbortTransient is consulted for consistency-related transactions
+	// that no monitor aborted; returning true spuriously aborts the
+	// transaction. Implementations must never abort WriteBack.
+	AbortTransient(op Op) bool
+	// TransferError is consulted for surviving block transfers; returning
+	// true fails the transfer with no side effects, forcing a re-issue.
+	TransferError(op Op) bool
 }
 
 // Timing holds the bus timing constants (Figure 2 and Section 2).
@@ -184,18 +208,27 @@ const numOps = int(PlainWrite) + 1
 // metrics are collected in one sink instead of scattered per component.
 type Bus struct {
 	eng      *sim.Engine
+	rec      *stats.Recorder
 	timing   Timing
 	sem      *sim.Semaphore
 	snoopers []Snooper
+	inj      Injector
+	observer func(Transaction, Result)
 
-	tx     [numOps]*stats.Counter
-	aborts *stats.Counter
-	busy   *stats.Counter // occupancy, in sim.Time ns
-	bytes  *stats.Counter
+	tx       [numOps]*stats.Counter
+	aborts   *stats.Counter
+	xferErrs *stats.Counter
+	busy     *stats.Counter // occupancy, in sim.Time ns
+	bytes    *stats.Counter
 
 	// perBoard accumulates bus occupancy per requester (DMA under
-	// NoRequester is not tracked here).
-	perBoard map[int]sim.Time
+	// NoRequester is not tracked here) under "bus/board<i>/busy-ns".
+	perBoard map[int]*stats.Counter
+
+	// intrBuf is the scratch list of monitors that asked to be posted
+	// this transaction, reused across transactions (the bus semaphore
+	// serializes Do, so one buffer suffices).
+	intrBuf []Snooper
 }
 
 // New creates a bus on the given engine with default timing, registering
@@ -204,18 +237,30 @@ func New(eng *sim.Engine) *Bus {
 	rec := eng.Recorder()
 	b := &Bus{
 		eng:      eng,
+		rec:      rec,
 		timing:   DefaultTiming(),
 		sem:      sim.NewSemaphore(1),
 		aborts:   rec.Counter("bus/aborts"),
+		xferErrs: rec.Counter("bus/transfer-errors"),
 		busy:     rec.Counter("bus/busy-ns"),
 		bytes:    rec.Counter("bus/bytes-moved"),
-		perBoard: make(map[int]sim.Time),
+		perBoard: make(map[int]*stats.Counter),
 	}
 	for op := 0; op < numOps; op++ {
 		b.tx[op] = rec.Counter("bus/tx/" + Op(op).String())
 	}
 	return b
 }
+
+// SetInjector attaches a fault injector consulted on every transaction
+// (nil detaches).
+func (b *Bus) SetInjector(inj Injector) { b.inj = inj }
+
+// SetObserver registers fn to be called after every transaction's
+// effects are applied, while the bus is still held. The fault layer uses
+// it for post-transaction table corruption and the invariant watchdog
+// for shadow-state tracking; observing must not issue bus transactions.
+func (b *Bus) SetObserver(fn func(Transaction, Result)) { b.observer = fn }
 
 // SetTiming overrides the timing constants (before simulation starts).
 func (b *Bus) SetTiming(t Timing) { b.timing = t }
@@ -244,8 +289,24 @@ func (b *Bus) Stats() Stats {
 }
 
 // BoardBusyTime returns the accumulated bus occupancy charged to a
+// board, reconstructed from the per-run metrics sink.
+func (b *Bus) BoardBusyTime(id int) sim.Time {
+	if c, ok := b.perBoard[id]; ok {
+		return sim.Time(c.Value())
+	}
+	return 0
+}
+
+// boardBusy returns (creating on first use) the occupancy counter for a
 // board.
-func (b *Bus) BoardBusyTime(id int) sim.Time { return b.perBoard[id] }
+func (b *Bus) boardBusy(id int) *stats.Counter {
+	c, ok := b.perBoard[id]
+	if !ok {
+		c = b.rec.Counter(fmt.Sprintf("bus/board%d/busy-ns", id))
+		b.perBoard[id] = c
+	}
+	return c
+}
 
 // Utilization returns total bus occupancy divided by elapsed simulated
 // time.
@@ -265,35 +326,51 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 	b.sem.Acquire(p)
 	defer b.sem.Release()
 
-	aborted := false
+	var res Result
 	if tx.Op.ConsistencyRelated() {
 		// Check window: gather every monitor's decision first (the
 		// hardware monitors decide in parallel from table state at the
 		// start of the window), then apply effects.
-		type decision struct {
-			s         Snooper
-			interrupt bool
-		}
-		var interrupts []decision
+		b.intrBuf = b.intrBuf[:0]
 		for _, s := range b.snoopers {
 			abort, intr := s.Check(tx)
 			if abort {
-				aborted = true
+				res.Aborted = true
 			}
 			if intr {
-				interrupts = append(interrupts, decision{s, true})
+				b.intrBuf = append(b.intrBuf, s)
 			}
 		}
-		for _, d := range interrupts {
-			d.s.Post(tx)
+		for _, s := range b.intrBuf {
+			s.Post(tx)
+		}
+	}
+
+	// Fault layer: an otherwise-successful transaction may be spuriously
+	// aborted (the requester sees an ordinary conflict and retries) or,
+	// for block transfers, fail mid-stream with a transfer error. DMA
+	// transactions are exempt: they have no retry path.
+	if b.inj != nil && !res.Aborted && tx.Requester != NoRequester {
+		if tx.Op.ConsistencyRelated() && b.inj.AbortTransient(tx.Op) {
+			res.Aborted = true
+			res.SpuriousAbort = true
+		} else if tx.Op.Transfers() && tx.Bytes > 0 && b.inj.TransferError(tx.Op) {
+			res.TransferErr = true
 		}
 	}
 
 	var busy sim.Time
-	if aborted {
+	switch {
+	case res.Aborted:
 		busy = b.timing.AbortTime()
 		b.aborts.Inc()
-	} else {
+	case res.TransferErr:
+		// A failed transfer terminates like an abort — at the end of the
+		// memory reference in flight — with no table update and no data
+		// moved.
+		busy = b.timing.AbortTime()
+		b.xferErrs.Inc()
+	default:
 		busy = b.timing.TransferTime(tx.Op, tx.Bytes)
 		b.bytes.Add(int64(tx.Bytes))
 		if tx.Requester != NoRequester && (tx.Op.ConsistencyRelated() || tx.Op == WriteActionTable) {
@@ -307,8 +384,11 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 	b.tx[tx.Op].Inc()
 	b.busy.Add(int64(busy))
 	if tx.Requester != NoRequester {
-		b.perBoard[tx.Requester] += busy
+		b.boardBusy(tx.Requester).Add(int64(busy))
+	}
+	if b.observer != nil {
+		b.observer(tx, res)
 	}
 	p.Delay(busy)
-	return Result{Aborted: aborted}
+	return res
 }

@@ -1,0 +1,181 @@
+package bus
+
+import (
+	"testing"
+
+	"vmp/internal/sim"
+)
+
+// scriptInjector is a scriptable bus.Injector recording what the bus
+// consulted it about.
+type scriptInjector struct {
+	abort, xfer bool
+	abortAsked  []Op
+	xferAsked   []Op
+}
+
+func (s *scriptInjector) AbortTransient(op Op) bool {
+	s.abortAsked = append(s.abortAsked, op)
+	return s.abort
+}
+func (s *scriptInjector) TransferError(op Op) bool {
+	s.xferAsked = append(s.xferAsked, op)
+	return s.xfer
+}
+
+func TestInjectedAbortIsSpurious(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng)
+	self := &fakeSnooper{id: 0}
+	b.Attach(self)
+	inj := &scriptInjector{abort: true}
+	b.SetInjector(inj)
+	var res Result
+	var end sim.Time
+	eng.Spawn("cpu", func(p *sim.Process) {
+		res = b.Do(p, Transaction{Op: ReadPrivate, PAddr: 0, Bytes: 256, Requester: 0})
+		end = p.Now()
+	})
+	eng.Run()
+	if !res.Aborted || !res.SpuriousAbort {
+		t.Fatalf("result %+v, want spurious abort", res)
+	}
+	// An injected abort looks exactly like a monitor abort: abort
+	// occupancy, abort counted, no table update, no bytes moved.
+	if end != DefaultTiming().AbortTime() {
+		t.Errorf("spuriously aborted tx took %v", end)
+	}
+	if len(self.updated) != 0 {
+		t.Error("action table updated despite injected abort")
+	}
+	if st := b.Stats(); st.Aborts != 1 || st.BytesMoved != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestMonitorAbortPreemptsInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng)
+	b.Attach(&fakeSnooper{id: 1, abort: true})
+	inj := &scriptInjector{abort: true, xfer: true}
+	b.SetInjector(inj)
+	var res Result
+	eng.Spawn("cpu", func(p *sim.Process) {
+		res = b.Do(p, Transaction{Op: ReadShared, PAddr: 0, Bytes: 256, Requester: 0})
+	})
+	eng.Run()
+	if !res.Aborted || res.SpuriousAbort || res.TransferErr {
+		t.Fatalf("result %+v, want genuine abort only", res)
+	}
+	if len(inj.abortAsked)+len(inj.xferAsked) != 0 {
+		t.Error("injector consulted for a transaction a monitor already aborted")
+	}
+}
+
+func TestInjectedTransferError(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng)
+	self := &fakeSnooper{id: 0}
+	b.Attach(self)
+	inj := &scriptInjector{xfer: true}
+	b.SetInjector(inj)
+	var res Result
+	var end sim.Time
+	eng.Spawn("cpu", func(p *sim.Process) {
+		res = b.Do(p, Transaction{Op: ReadShared, PAddr: 0, Bytes: 512, Requester: 0})
+		end = p.Now()
+	})
+	eng.Run()
+	if res.Aborted || !res.TransferErr {
+		t.Fatalf("result %+v, want transfer error without abort", res)
+	}
+	// A failed transfer has no side effects: no table update, no bytes,
+	// and it occupies the bus only for the abort window.
+	if len(self.updated) != 0 {
+		t.Error("action table updated despite transfer error")
+	}
+	if end != DefaultTiming().AbortTime() {
+		t.Errorf("failed transfer took %v", end)
+	}
+	st := b.Stats()
+	if st.BytesMoved != 0 || st.Aborts != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if v := eng.Recorder().Value("bus/transfer-errors"); v != 1 {
+		t.Errorf("bus/transfer-errors = %d, want 1", v)
+	}
+}
+
+func TestNonTransferOpsNeverGetTransferErrors(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng)
+	inj := &scriptInjector{xfer: true}
+	b.SetInjector(inj)
+	eng.Spawn("cpu", func(p *sim.Process) {
+		// AssertOwnership moves no data; WriteActionTable is not even
+		// consistency-related. Neither may be offered to TransferError.
+		b.Do(p, Transaction{Op: AssertOwnership, PAddr: 0, Requester: 0})
+		b.Do(p, Transaction{Op: WriteActionTable, PAddr: 0, Requester: 0, Action: 1})
+	})
+	eng.Run()
+	if len(inj.xferAsked) != 0 {
+		t.Errorf("TransferError consulted for %v", inj.xferAsked)
+	}
+}
+
+func TestDMAExemptFromInjection(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng)
+	inj := &scriptInjector{abort: true, xfer: true}
+	b.SetInjector(inj)
+	var res Result
+	eng.Spawn("dma", func(p *sim.Process) {
+		res = b.Do(p, Transaction{Op: PlainWrite, PAddr: 0, Bytes: 256, Requester: NoRequester})
+	})
+	eng.Run()
+	if res.Aborted || res.TransferErr {
+		t.Fatalf("DMA transfer faulted: %+v", res)
+	}
+	if len(inj.abortAsked)+len(inj.xferAsked) != 0 {
+		t.Error("injector consulted for a DMA transaction")
+	}
+}
+
+func TestObserverSeesEveryTransaction(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng)
+	self := &fakeSnooper{id: 0}
+	b.Attach(self)
+	type obs struct {
+		tx  Transaction
+		res Result
+	}
+	var seen []obs
+	var updatesAtObserve []int
+	b.SetObserver(func(tx Transaction, res Result) {
+		seen = append(seen, obs{tx, res})
+		updatesAtObserve = append(updatesAtObserve, len(self.updated))
+	})
+	inj := &scriptInjector{}
+	b.SetInjector(inj)
+	eng.Spawn("cpu", func(p *sim.Process) {
+		b.Do(p, Transaction{Op: ReadShared, PAddr: 0x1000, Bytes: 256, Requester: 0})
+		inj.abort = true
+		b.Do(p, Transaction{Op: ReadPrivate, PAddr: 0x1000, Bytes: 256, Requester: 0})
+	})
+	eng.Run()
+	if len(seen) != 2 {
+		t.Fatalf("observer called %d times, want 2", len(seen))
+	}
+	if seen[0].tx.Op != ReadShared || seen[0].res.Aborted {
+		t.Errorf("first observation %+v", seen[0])
+	}
+	if seen[1].tx.Op != ReadPrivate || !seen[1].res.SpuriousAbort {
+		t.Errorf("second observation %+v", seen[1])
+	}
+	// The observer must run after the action-table side effect so shadow
+	// tracking sees post-transaction state.
+	if updatesAtObserve[0] != 1 {
+		t.Errorf("observer ran before UpdateFromOwn (%d updates visible)", updatesAtObserve[0])
+	}
+}

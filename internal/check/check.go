@@ -1,0 +1,362 @@
+// Package check is the protocol invariant watchdog: an online oracle
+// that validates the VMP two-state ownership protocol at every
+// consistency transaction and repairs detectable action-table
+// corruption at quiescence.
+//
+// The watchdog maintains a *shadow* of every board's action-table roles
+// (owner / sharer per frame), derived purely from observed bus traffic.
+// The shadow is exact in a fault-free execution because every
+// action-table mutation in the machine is a bus-visible side effect
+// (UpdateFromOwn of the requester's own transactions); a silent clean
+// eviction leaves the table entry stale *and* the shadow role stale, so
+// the two stay in lock-step. Injected table corruption (bit flips that
+// bypass the bus) breaks the lock-step, and that divergence is exactly
+// what the watchdog detects:
+//
+//   - An aborted transaction with no shadow cause (no Private entry
+//     anywhere for read-shared / read-private / assert-ownership; no
+//     foreign role at all for write-back) is a phantom abort from a
+//     corrupted entry.
+//   - At quiescence, a table entry claiming a role the shadow never
+//     granted (Private without shadow ownership, Shared with neither a
+//     held frame nor a shadow sharer role) is detected and repaired.
+//
+// Invariants checked per transaction:
+//
+//   - single private owner: a successful ownership acquisition while
+//     the shadow records a different owner is a violation;
+//   - shared/private exclusion: a successful read-shared while any
+//     owner exists is a violation;
+//   - no aborted write-back without cause: write-back aborts are legal
+//     only from stale (or corrupted) Shared entries; the watchdog
+//     separates the two;
+//   - flat-memory write-back integrity: only the shadow owner may write
+//     a page back — the guard that keeps the flat-memory data oracle
+//     trustworthy.
+//
+// Per-transaction checks use only the shadow (never the boards' local
+// state): board frame maps are updated when the board's coroutine
+// resumes, at or after the end of the bus transaction, so comparing
+// them mid-transaction would race with legal update windows. Table
+// versus board-state comparison happens only in FinalSweep, at
+// quiescence.
+package check
+
+import (
+	"fmt"
+
+	"vmp/internal/bus"
+	"vmp/internal/monitor"
+	"vmp/internal/stats"
+)
+
+// Hold is a board's software page-state for one frame, as exposed to
+// the watchdog.
+type Hold uint8
+
+const (
+	HoldNone    Hold = iota // frame not held
+	HoldShared              // held with a shared copy
+	HoldPrivate             // held privately (owned)
+)
+
+// String names the hold state.
+func (h Hold) String() string {
+	switch h {
+	case HoldNone:
+		return "none"
+	case HoldShared:
+		return "shared"
+	case HoldPrivate:
+		return "private"
+	default:
+		return fmt.Sprintf("Hold(%d)", uint8(h))
+	}
+}
+
+// BoardView is the watchdog's read/repair window into one board. All
+// methods are only called at quiescent points except ID.
+type BoardView interface {
+	// ID identifies the board.
+	ID() int
+	// Hold returns the board's software page-state for a frame.
+	Hold(frame uint32) Hold
+	// Protected reports whether the frame is under deliberate region
+	// protection (DMA guard), whose Private table entry is legal without
+	// a held page.
+	Protected(frame uint32) bool
+	// Action reads the board's action-table entry for a frame.
+	Action(frame uint32) monitor.Action
+	// RepairAction rewrites a corrupted table entry (local-side write;
+	// the machine is quiescent, no bus transaction is modelled).
+	RepairAction(frame uint32, a monitor.Action)
+	// ForEachEntry visits every non-Ignore action-table entry in frame
+	// order.
+	ForEachEntry(fn func(frame uint32, act monitor.Action))
+	// ForEachHeld visits every held frame in frame order.
+	ForEachHeld(fn func(frame uint32, h Hold))
+}
+
+// shadowFrame is the watchdog's bus-derived role record for one frame.
+type shadowFrame struct {
+	owner   int // board ID, or -1
+	sharers map[int]bool
+}
+
+// Watchdog validates protocol invariants online. Create with New; it is
+// engine-confined like the rest of a run.
+type Watchdog struct {
+	pageSize int
+	frames   map[uint32]*shadowFrame
+	views    []BoardView
+	// expectCorruption relaxes corruption findings from violations to
+	// counted detections: set when the fault plan injects table flips,
+	// so detected-and-repaired corruption is the *passing* outcome.
+	expectCorruption bool
+
+	violations []string
+
+	transactions *stats.Counter
+	abortedWB    *stats.Counter
+	phantomAb    *stats.Counter
+	unownedWB    *stats.Counter
+	tableCorr    *stats.Counter
+	repairs      *stats.Counter
+}
+
+// maxViolations caps the recorded violation list (the count keeps
+// rising in the counter-free sense that later duplicates add nothing).
+const maxViolations = 64
+
+// New creates a watchdog for a machine whose cache-page frames are
+// pageSize bytes, registering its counters under "check/..." names.
+func New(rec *stats.Recorder, pageSize int) *Watchdog {
+	return &Watchdog{
+		pageSize:     pageSize,
+		frames:       make(map[uint32]*shadowFrame),
+		transactions: rec.Counter("check/transactions"),
+		abortedWB:    rec.Counter("check/aborted-write-backs"),
+		phantomAb:    rec.Counter("check/phantom-aborts"),
+		unownedWB:    rec.Counter("check/unowned-write-backs"),
+		tableCorr:    rec.Counter("check/table-corruptions-detected"),
+		repairs:      rec.Counter("check/table-repairs"),
+	}
+}
+
+// Attach registers a board's view for the quiescent sweep.
+func (w *Watchdog) Attach(v BoardView) { w.views = append(w.views, v) }
+
+// SetExpectCorruption marks the run as one whose fault plan corrupts
+// action tables: corruption findings count as detections instead of
+// violations.
+func (w *Watchdog) SetExpectCorruption(on bool) { w.expectCorruption = on }
+
+// Violations returns the violations recorded so far.
+func (w *Watchdog) Violations() []string { return w.violations }
+
+func (w *Watchdog) violate(format string, args ...interface{}) {
+	if len(w.violations) < maxViolations {
+		w.violations = append(w.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// corrupt records a corruption finding: a detection when the fault plan
+// injects flips, a violation otherwise.
+func (w *Watchdog) corrupt(format string, args ...interface{}) {
+	w.tableCorr.Inc()
+	if !w.expectCorruption {
+		w.violate(format, args...)
+	}
+}
+
+func (w *Watchdog) frame(f uint32) *shadowFrame {
+	sf := w.frames[f]
+	if sf == nil {
+		sf = &shadowFrame{owner: -1, sharers: make(map[int]bool)}
+		w.frames[f] = sf
+	}
+	return sf
+}
+
+// OnTransaction observes one bus transaction and its result. It is
+// called from the bus observer hook, under the bus mutual exclusion,
+// after the transaction's table effects are applied.
+func (w *Watchdog) OnTransaction(tx bus.Transaction, res bus.Result) {
+	if !tx.Op.ConsistencyRelated() && tx.Op != bus.WriteActionTable {
+		return
+	}
+	w.transactions.Inc()
+	f := tx.PAddr / uint32(w.pageSize)
+
+	if res.Aborted {
+		w.observeAbort(tx, res, f)
+		return
+	}
+	if res.TransferErr {
+		// A failed transfer has no protocol side effects by construction;
+		// the shadow must not move either.
+		return
+	}
+	sf := w.frame(f)
+	switch tx.Op {
+	case bus.ReadShared:
+		if sf.owner != -1 {
+			w.violate("read-shared of frame %d by board %d succeeded while board %d owns it",
+				f, tx.Requester, sf.owner)
+		}
+		if tx.Requester != bus.NoRequester {
+			sf.sharers[tx.Requester] = true
+		}
+	case bus.ReadPrivate, bus.AssertOwnership:
+		if sf.owner != -1 && sf.owner != tx.Requester {
+			w.violate("%v of frame %d by board %d succeeded while board %d owns it",
+				tx.Op, f, tx.Requester, sf.owner)
+		}
+		if tx.Requester != bus.NoRequester {
+			sf.owner = tx.Requester
+			delete(sf.sharers, tx.Requester)
+		}
+	case bus.WriteBack:
+		// Only the owner may write main memory: the guard that keeps the
+		// flat-memory data oracle current.
+		if sf.owner != tx.Requester {
+			w.unownedWB.Inc()
+			w.violate("write-back of frame %d by board %d which does not own it (owner %d)",
+				f, tx.Requester, sf.owner)
+		}
+		if sf.owner == tx.Requester {
+			sf.owner = -1
+		}
+		if tx.Requester != bus.NoRequester {
+			if tx.Downgrade {
+				sf.sharers[tx.Requester] = true
+			} else {
+				delete(sf.sharers, tx.Requester)
+			}
+		}
+	case bus.WriteActionTable:
+		if tx.Requester == bus.NoRequester {
+			return
+		}
+		switch monitor.Action(tx.Action & 3) {
+		case monitor.Ignore, monitor.Notify:
+			if sf.owner == tx.Requester {
+				sf.owner = -1
+			}
+			delete(sf.sharers, tx.Requester)
+		case monitor.Shared:
+			if sf.owner == tx.Requester {
+				sf.owner = -1
+			}
+			sf.sharers[tx.Requester] = true
+		case monitor.Private:
+			sf.owner = tx.Requester
+			delete(sf.sharers, tx.Requester)
+		}
+	}
+}
+
+// observeAbort classifies an aborted transaction: legal cause, injected
+// spurious abort, or phantom abort from a corrupted table entry.
+func (w *Watchdog) observeAbort(tx bus.Transaction, res bus.Result, f uint32) {
+	if res.SpuriousAbort {
+		return // injected; the requester's retry path is the test
+	}
+	sf := w.frames[f]
+	switch tx.Op {
+	case bus.WriteBack:
+		w.abortedWB.Inc()
+		// Legal only from a stale Shared entry (or a competing owner's
+		// Private entry, itself a violation caught on the success path):
+		// some foreign board must hold a shadow role on the frame.
+		if sf != nil {
+			for s := range sf.sharers {
+				if s != tx.Requester {
+					return
+				}
+			}
+			if sf.owner != -1 && sf.owner != tx.Requester {
+				return
+			}
+		}
+		w.phantomAb.Inc()
+		w.corrupt("write-back of frame %d by board %d aborted with no stale sharer on record",
+			f, tx.Requester)
+	case bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.Notify:
+		// Monitors abort these only from a Private entry, which the
+		// shadow records as an owner (possibly the requester itself: the
+		// own-alias abort).
+		if sf == nil || sf.owner == -1 {
+			w.phantomAb.Inc()
+			w.corrupt("%v of frame %d by board %d aborted with no owner on record",
+				tx.Op, f, tx.Requester)
+		}
+	}
+}
+
+// FinalSweep validates every board's action table against its software
+// page-state and the shadow, repairing detected corruption so the
+// strict post-run consistency checks see a sane table. It must only be
+// called at a quiescent point (no transaction in flight, FIFOs
+// drained); mid-run the tables legally lag the boards.
+func (w *Watchdog) FinalSweep() {
+	for _, v := range w.views {
+		id := v.ID()
+		// Held frames: the entry must reflect at least the protection the
+		// state requires, and private holds must match the shadow owner.
+		v.ForEachHeld(func(f uint32, h Hold) {
+			act := v.Action(f)
+			switch h {
+			case HoldShared:
+				if act != monitor.Shared {
+					w.corrupt("board %d: shared frame %d has action %v", id, f, act)
+					w.repair(v, f, monitor.Shared)
+				}
+			case HoldPrivate:
+				if act != monitor.Private {
+					w.corrupt("board %d: private frame %d has action %v", id, f, act)
+					w.repair(v, f, monitor.Private)
+				}
+				if sf := w.frames[f]; sf == nil || sf.owner != id {
+					w.violate("board %d holds frame %d privately but the bus never granted it ownership", id, f)
+				}
+			}
+		})
+		// Table entries with no held frame: stale Shared entries are legal
+		// (silent clean eviction) and are mirrored by a shadow sharer
+		// role; a Shared entry with no shadow role, or a Private entry on
+		// a frame neither held nor protected, is corruption.
+		v.ForEachEntry(func(f uint32, act monitor.Action) {
+			if v.Hold(f) != HoldNone {
+				return // checked above
+			}
+			switch act {
+			case monitor.Shared:
+				if sf := w.frames[f]; sf == nil || !sf.sharers[id] {
+					w.corrupt("board %d: phantom shared entry for frame %d", id, f)
+					w.repair(v, f, monitor.Ignore)
+				}
+			case monitor.Private:
+				if v.Protected(f) {
+					return
+				}
+				w.corrupt("board %d: phantom private entry for frame %d", id, f)
+				w.repair(v, f, monitor.Ignore)
+			case monitor.Notify:
+				// Notification watch entries live on never-cached frames;
+				// nothing to cross-check.
+			}
+		})
+	}
+}
+
+// repair rewrites a corrupted entry when corruption is expected; in a
+// run without flip injection the table is left as evidence (the
+// violation already recorded it, and the run is failing anyway).
+func (w *Watchdog) repair(v BoardView, f uint32, a monitor.Action) {
+	if !w.expectCorruption {
+		return
+	}
+	v.RepairAction(f, a)
+	w.repairs.Inc()
+}

@@ -10,9 +10,20 @@
 package copier
 
 import (
+	"fmt"
+
 	"vmp/internal/bus"
 	"vmp/internal/sim"
+	"vmp/internal/stats"
 )
+
+// maxReissues bounds the transfer-error re-issue loop. Exhausting it
+// means the transfer hardware is persistently broken — fatal by design,
+// there is no software recovery for a page that cannot be moved.
+const maxReissues = 12
+
+// reissueShiftCap caps the exponential backoff between re-issues.
+const reissueShiftCap = 6
 
 // Copier is one board's block-copy engine. Create with New.
 type Copier struct {
@@ -24,24 +35,55 @@ type Copier struct {
 	done   sim.Signal
 	result bus.Result
 
-	stats Stats
+	ctr copierCounters
 }
 
 // Stats counts copier activity.
 type Stats struct {
-	Transfers  uint64
-	Aborted    uint64
-	BytesMoved uint64
-	BusTime    sim.Time
+	Transfers      uint64
+	Aborted        uint64
+	Reissues       uint64 // re-issued transfers after transfer errors
+	TransferErrors uint64 // injected transfer errors observed
+	BytesMoved     uint64
+	BusTime        sim.Time
 }
 
-// New creates a copier for the given board.
+// copierCounters is the recorder-backed counter set for one copier,
+// registered in the per-run metrics sink like every other component.
+type copierCounters struct {
+	transfers, aborted, reissues, xferErrs, bytesMoved, busTime *stats.Counter
+}
+
+// New creates a copier for the given board, registering its counters in
+// the engine's per-run recorder under "board<i>/copier/...".
 func New(eng *sim.Engine, b *bus.Bus, boardID int) *Copier {
-	return &Copier{eng: eng, bus: b, boardID: boardID}
+	prefix := fmt.Sprintf("board%d/copier/", boardID)
+	rec := eng.Recorder()
+	return &Copier{
+		eng: eng, bus: b, boardID: boardID,
+		ctr: copierCounters{
+			transfers:  rec.Counter(prefix + "transfers"),
+			aborted:    rec.Counter(prefix + "aborted"),
+			reissues:   rec.Counter(prefix + "reissues"),
+			xferErrs:   rec.Counter(prefix + "transfer-errors"),
+			bytesMoved: rec.Counter(prefix + "bytes-moved"),
+			busTime:    rec.Counter(prefix + "bus-time-ns"),
+		},
+	}
 }
 
-// Stats returns a copy of the counters.
-func (c *Copier) Stats() Stats { return c.stats }
+// Stats returns a copy of the counters, reconstructed from the per-run
+// metrics sink.
+func (c *Copier) Stats() Stats {
+	return Stats{
+		Transfers:      uint64(c.ctr.transfers.Value()),
+		Aborted:        uint64(c.ctr.aborted.Value()),
+		Reissues:       uint64(c.ctr.reissues.Value()),
+		TransferErrors: uint64(c.ctr.xferErrs.Value()),
+		BytesMoved:     uint64(c.ctr.bytesMoved.Value()),
+		BusTime:        sim.Time(c.ctr.busTime.Value()),
+	}
+}
 
 // Busy reports whether a transfer is in flight.
 func (c *Copier) Busy() bool { return c.busy }
@@ -59,12 +101,32 @@ func (c *Copier) Start(tx bus.Transaction) {
 	c.eng.Spawn("copier", func(p *sim.Process) {
 		start := p.Now()
 		res := c.bus.Do(p, tx)
-		c.stats.Transfers++
-		c.stats.BusTime += p.Now() - start
+		c.ctr.transfers.Inc()
+		// A transfer error has no protocol side effects, so the copier
+		// re-issues the identical transaction after a bounded,
+		// deterministic exponential backoff. An abort is different: it has
+		// a protocol cause the miss handler must resolve, so it is
+		// reported up instead of retried here.
+		for attempt := 0; res.TransferErr; attempt++ {
+			c.ctr.xferErrs.Inc()
+			if attempt == maxReissues {
+				panic(fmt.Sprintf("copier: board %d transfer %v paddr %#x failed %d times",
+					c.boardID, tx.Op, tx.PAddr, maxReissues))
+			}
+			shift := attempt
+			if shift > reissueShiftCap {
+				shift = reissueShiftCap
+			}
+			p.Delay(c.bus.Timing().ArbAddr << shift)
+			c.ctr.reissues.Inc()
+			res = c.bus.Do(p, tx)
+			c.ctr.transfers.Inc()
+		}
+		c.ctr.busTime.Add(int64(p.Now() - start))
 		if res.Aborted {
-			c.stats.Aborted++
+			c.ctr.aborted.Inc()
 		} else {
-			c.stats.BytesMoved += uint64(tx.Bytes)
+			c.ctr.bytesMoved.Add(int64(tx.Bytes))
 		}
 		c.result = res
 		c.busy = false

@@ -180,13 +180,34 @@ func (b *Board) SetReadPrivateOnRead(fn func(asid uint8, vaddr uint32) bool) {
 func (b *Board) pageSize() int   { return b.m.cfg.Cache.PageSize }
 func (b *Board) timing() *Timing { return &b.m.cfg.Timing }
 
-// retryDelay is the re-trap cost plus a small per-board skew. The skew
-// models each board's distinct arbitration position and clock phase;
-// without it, identical programs on identical boards can phase-lock
-// into deterministic starvation that real hardware's natural skew
-// breaks.
-func (b *Board) retryDelay() sim.Time {
-	return b.timing().Handler.Retry + sim.Time(b.ID)*25*sim.Nanosecond
+// retryBackoff is the delay before retry number attempt (0-based): the
+// re-trap cost plus a small per-board skew, shifted left once per
+// consecutive retry up to the policy cap. The skew models each board's
+// distinct arbitration position and clock phase; without it, identical
+// programs on identical boards can phase-lock into deterministic
+// starvation that real hardware's natural skew breaks. The exponential
+// growth bounds livelock under injected abort storms while leaving the
+// first retry's timing identical to the fixed-delay behaviour.
+func (b *Board) retryBackoff(attempt int) sim.Time {
+	base := b.timing().Handler.Retry + sim.Time(b.ID)*25*sim.Nanosecond
+	if cap := b.m.cfg.Retry.BackoffShiftCap; attempt > cap {
+		attempt = cap
+	}
+	return base << attempt
+}
+
+// noteRetry records consecutive retry number n (1-based) of one
+// operation against the starvation watchdog: crossing the threshold
+// counts one starvation event, and reaching the hard limit is treated
+// as a livelock and panics rather than spinning forever.
+func (b *Board) noteRetry(n int) {
+	pol := b.m.cfg.Retry
+	if n == pol.StarveThreshold {
+		b.m.starve.Inc()
+	}
+	if n >= pol.HardLimit {
+		panic(fmt.Sprintf("core: board %d livelocked after %d consecutive retries", b.ID, n))
+	}
 }
 func (b *Board) frameOf(paddr uint32) uint32 {
 	return paddr / uint32(b.pageSize())
@@ -204,17 +225,26 @@ func (b *Board) Access(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acces
 	b.ctr.refs.Inc()
 	// Bus-monitor interrupts are serviced between instructions.
 	b.ServiceInterrupts(p)
+	attempt := 0
 	for {
 		_, res := b.Cache.Lookup(asid, vaddr, acc)
 		switch res {
 		case cache.Hit:
 			return nil
 		case cache.Miss:
-			if err := b.missFill(p, asid, vaddr, acc); err != nil {
+			retried, err := b.missFill(p, asid, vaddr, acc, attempt)
+			if err != nil {
 				return err
 			}
+			if retried {
+				attempt++
+				b.noteRetry(attempt)
+			}
 		case cache.WriteMiss:
-			b.upgradeOwnership(p, asid, vaddr)
+			if b.upgradeOwnership(p, asid, vaddr, attempt) {
+				attempt++
+				b.noteRetry(attempt)
+			}
 		case cache.ProtFault:
 			b.ctr.protFaults.Inc()
 			return fmt.Errorf("core: protection fault board=%d asid=%d vaddr=%#x", b.ID, asid, vaddr)
@@ -244,8 +274,10 @@ func (b *Board) PAddrOf(asid uint8, vaddr uint32) (uint32, bool) {
 // update the local tables, return from the exception. An ownership
 // conflict aborts the fill; the instruction re-traps and the handler
 // runs again, after servicing the interrupt words that tell this board
-// what to release.
-func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access) error {
+// what to release. attempt is the caller's consecutive-retry count for
+// this reference (it scales the backoff); the retried result reports
+// whether this invocation ended in an abort.
+func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access, attempt int) (retried bool, err error) {
 	t := b.timing()
 	start := p.Now()
 	defer func() {
@@ -260,7 +292,7 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 	// page-table's own cache page, so the victim is chosen after).
 	walk, err := b.translate(p, asid, vaddr, acc, 0)
 	if err != nil {
-		return err
+		return false, err
 	}
 	frame := b.frameOf(walk.PAddr)
 	pageAddr := b.frameAddr(frame)
@@ -288,10 +320,10 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 		// release the page. Re-trap, service our own interrupts (we may
 		// be the owner under an alias, or hold a stale entry), retry.
 		b.ctr.retries.Inc()
-		p.Delay(b.retryDelay())
+		p.Delay(b.retryBackoff(attempt))
 		b.resolveOwnConflict(p, frame)
 		b.ServiceInterrupts(p)
-		return nil // Access re-looks-up and re-traps
+		return true, nil // Access re-looks-up and re-traps
 	}
 
 	// Fill the slot and update the local tables.
@@ -319,7 +351,7 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 	}
 
 	p.Delay(t.Handler.Epilogue)
-	return nil
+	return false, nil
 }
 
 // fillFlags derives the cache slot flags from the PTE and the fill
@@ -391,14 +423,20 @@ func (b *Board) refNested(p *sim.Process, asid uint8, vaddr uint32, depth int) e
 		panic("core: page-table miss recursion too deep")
 	}
 	acc := cache.Access{Super: true}
+	attempt := 0
 	for {
 		_, res := b.Cache.Lookup(asid, vaddr, acc)
 		switch res {
 		case cache.Hit:
 			return nil
 		case cache.Miss:
-			if err := b.missFillNested(p, asid, vaddr, acc, depth); err != nil {
+			retried, err := b.missFillNested(p, asid, vaddr, acc, depth, attempt)
+			if err != nil {
 				return err
+			}
+			if retried {
+				attempt++
+				b.noteRetry(attempt)
 			}
 		default:
 			return fmt.Errorf("core: unexpected %v on page-table reference %#x", res, vaddr)
@@ -409,7 +447,7 @@ func (b *Board) refNested(p *sim.Process, asid uint8, vaddr uint32, depth int) e
 // missFillNested is missFill with the recursion depth threaded through
 // (the public missFill starts at depth 0; the structure is identical,
 // so it simply reuses missFill's logic via translate's depth argument).
-func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access, depth int) error {
+func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access, depth, attempt int) (retried bool, err error) {
 	t := b.timing()
 	start := p.Now()
 	defer func() { b.ctr.missTimeNs.Add(int64(p.Now() - start)) }()
@@ -417,7 +455,7 @@ func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cac
 	p.Delay(t.Handler.TrapEntry)
 	walk, err := b.translate(p, asid, vaddr, acc, depth)
 	if err != nil {
-		return err
+		return false, err
 	}
 	frame := b.frameOf(walk.PAddr)
 	p.Delay(t.Handler.VictimSelect)
@@ -428,10 +466,10 @@ func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cac
 	p.Delay(t.Handler.BookkeepRead)
 	if res := b.Cop.Wait(p); res.Aborted {
 		b.ctr.retries.Inc()
-		p.Delay(b.retryDelay())
+		p.Delay(b.retryBackoff(attempt))
 		b.resolveOwnConflict(p, frame)
 		b.ServiceInterrupts(p)
-		return nil
+		return true, nil
 	}
 	b.Cache.Fill(victim, asid, vaddr, b.fillFlags(walk.PTE, bus.ReadShared, acc))
 	b.slotFrame[victim] = frame
@@ -446,7 +484,7 @@ func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cac
 		b.m.checker.acquired(b.ID, frame, fi.state)
 	}
 	p.Delay(t.Handler.Epilogue)
-	return nil
+	return false, nil
 }
 
 // evict clears the suggested victim slot, writing its page back if it
@@ -476,9 +514,10 @@ func (b *Board) evict(p *sim.Process, victim cache.SlotID) {
 		b.Cop.Start(bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
 		p.Delay(b.timing().Handler.BookkeepWB)
 		res := b.Cop.Wait(p)
-		for res.Aborted {
+		for attempt := 0; res.Aborted; attempt++ {
 			b.ctr.writeBackRetries.Inc()
-			p.Delay(b.retryDelay())
+			b.noteRetry(attempt + 1)
+			p.Delay(b.retryBackoff(attempt))
 			res = b.Cop.Run(p, bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
 		}
 		if b.m.checker != nil {
@@ -519,8 +558,10 @@ func (b *Board) detachSlot(frame uint32, fi *frameInfo, slot cache.SlotID) {
 
 // upgradeOwnership serves a write to a page held shared: the
 // assert-ownership negotiation of Section 3.1. On abort (an owner
-// appeared), the instruction re-traps after interrupt service.
-func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32) {
+// appeared), the instruction re-traps after interrupt service; the
+// retried result reports that outcome so the caller can scale the next
+// backoff.
+func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32, attempt int) (retried bool) {
 	t := b.timing()
 	start := p.Now()
 	defer func() { b.ctr.missTimeNs.Add(int64(p.Now() - start)) }()
@@ -531,7 +572,7 @@ func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32) {
 		// The copy vanished between lookup and handler (interrupt
 		// service in a nested path); re-trap as a plain miss.
 		p.Delay(t.Handler.Epilogue)
-		return
+		return false
 	}
 	frame := b.slotFrame[slot]
 	fi := b.frames[frame]
@@ -541,10 +582,10 @@ func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32) {
 	})
 	if res.Aborted {
 		b.ctr.retries.Inc()
-		p.Delay(b.retryDelay())
+		p.Delay(b.retryBackoff(attempt))
 		b.ServiceInterrupts(p)
 		p.Delay(t.Handler.Epilogue)
-		return
+		return true
 	}
 
 	// Ownership acquired: all other caches discard their copies in
@@ -563,6 +604,7 @@ func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32) {
 	}
 	b.m.VM.SetModified(asid, vaddr)
 	p.Delay(t.Handler.Epilogue)
+	return false
 }
 
 // resolveOwnAliases prepares the local cache for acquiring frame:
@@ -623,11 +665,12 @@ func (b *Board) releaseOwnership(p *sim.Process, frame uint32, fi *frameInfo, ke
 		tx := bus.Transaction{
 			Op: bus.WriteBack, PAddr: paddr, Bytes: b.pageSize(), Downgrade: keepShared,
 		}
-		for b.Cop.Run(p, tx).Aborted {
+		for attempt := 0; b.Cop.Run(p, tx).Aborted; attempt++ {
 			// Spurious abort from a stale foreign Shared entry; that
 			// board clears it on the violation word and we retry.
 			b.ctr.writeBackRetries.Inc()
-			p.Delay(b.retryDelay())
+			b.noteRetry(attempt + 1)
+			p.Delay(b.retryBackoff(attempt))
 		}
 	} else {
 		// Clean: no data to move, but the action-table entry must leave
@@ -719,14 +762,20 @@ func (b *Board) assertFlushKeep(p *sim.Process, paddr uint32) {
 			}
 		}
 	}
-	for {
+	for attempt := 0; ; attempt++ {
 		res := b.m.Bus.Do(p, bus.Transaction{
 			Op: bus.AssertOwnership, PAddr: paddr, Requester: b.ID,
 		})
 		if !res.Aborted {
 			return
 		}
-		p.Delay(b.retryDelay())
+		b.ctr.retries.Inc()
+		b.noteRetry(attempt + 1)
+		p.Delay(b.retryBackoff(attempt))
+		// Our own stale Private entry can be the abort cause (a clean
+		// private eviction leaves it behind, and no interrupt word is
+		// posted to self); clear it like the miss path does.
+		b.resolveOwnConflict(p, frame)
 		b.ServiceInterrupts(p)
 	}
 }

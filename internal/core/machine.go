@@ -6,9 +6,12 @@ import (
 
 	"vmp/internal/bus"
 	"vmp/internal/cache"
+	"vmp/internal/check"
+	"vmp/internal/fault"
 	"vmp/internal/memory"
 	"vmp/internal/monitor"
 	"vmp/internal/sim"
+	"vmp/internal/stats"
 	"vmp/internal/trace"
 	"vmp/internal/vm"
 )
@@ -36,6 +39,17 @@ type Config struct {
 	// DisableChecker turns off the protocol-invariant oracle (useful
 	// only for benchmarking the simulator itself).
 	DisableChecker bool
+	// Faults, when non-nil and enabled, attaches the deterministic
+	// fault-injection layer (see internal/fault).
+	Faults *fault.Spec
+	// FaultSeed seeds the fault plan; the same (spec, seed) pair
+	// reproduces the same fault sequence.
+	FaultSeed uint64
+	// Watchdog attaches the protocol invariant watchdog (internal/check)
+	// to every bus transaction. It is implied by an enabled fault spec.
+	Watchdog bool
+	// Retry bounds the protocol retry loops (zero value = defaults).
+	Retry RetryPolicy
 }
 
 func (c *Config) fillDefaults() {
@@ -54,6 +68,12 @@ func (c *Config) fillDefaults() {
 	if c.Policy == nil {
 		c.Policy = vm.DefaultPolicy
 	}
+	if c.Retry == (RetryPolicy{}) {
+		c.Retry = DefaultRetryPolicy()
+	}
+	if c.Faults != nil && c.Faults.Enabled() {
+		c.Watchdog = true
+	}
 }
 
 // Machine is a configured VMP multiprocessor.
@@ -66,6 +86,9 @@ type Machine struct {
 
 	cfg      Config
 	checker  *checker
+	inj      *fault.Injector
+	watch    *check.Watchdog
+	starve   *stats.Counter
 	draining bool
 
 	activeDrivers int
@@ -98,10 +121,115 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if !cfg.DisableChecker {
 		m.checker = newChecker()
 	}
+	m.starve = eng.Recorder().Counter("check/starvation-events")
 	for i := 0; i < cfg.Processors; i++ {
 		m.Boards = append(m.Boards, newBoard(m, i))
 	}
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		m.inj = fault.NewInjector(*cfg.Faults, cfg.FaultSeed, eng.Recorder())
+		m.Bus.SetInjector(m.inj)
+		for _, b := range m.Boards {
+			if cap := m.inj.FIFOCap(); cap > 0 {
+				b.Mon.SetDepthLimit(cap)
+			}
+			if m.inj.Spec().StormRate > 0 {
+				b.Mon.SetInjector(m.inj)
+			}
+		}
+	}
+	if cfg.Watchdog {
+		m.watch = check.New(eng.Recorder(), cfg.Cache.PageSize)
+		m.watch.SetExpectCorruption(m.inj != nil && m.inj.Spec().FlipRate > 0)
+		for _, b := range m.Boards {
+			m.watch.Attach(boardView{b})
+		}
+	}
+	if m.inj != nil || m.watch != nil {
+		m.Bus.SetObserver(m.observeBus)
+	}
 	return m, nil
+}
+
+// observeBus runs after every bus transaction's effects, while the bus
+// is still held: the watchdog records the transaction into its shadow,
+// then the fault layer may corrupt an action-table entry for the
+// transaction's frame.
+func (m *Machine) observeBus(tx bus.Transaction, res bus.Result) {
+	if m.watch != nil {
+		m.watch.OnTransaction(tx, res)
+	}
+	if m.inj != nil && tx.Op.ConsistencyRelated() {
+		m.injectFlip(tx)
+	}
+}
+
+// injectFlip applies one action-table bit flip decided by the fault
+// plan. Only entries currently at Ignore are corrupted (producing a
+// phantom Shared or Private entry the protocol detects and heals);
+// flipping a live Shared entry would make a board miss a future
+// invalidation, flipping a Private entry would permit a double grant,
+// and flipping a Notify entry would lose a wakeup — all fatal by
+// design, so never injected. The in-flight requester is excluded: its
+// entry for this frame was just written and its local tables lag until
+// its coroutine resumes.
+func (m *Machine) injectFlip(tx bus.Transaction) {
+	board, bit, ok := m.inj.TableFlip(len(m.Boards))
+	if !ok {
+		return
+	}
+	b := m.Boards[board]
+	if board == tx.Requester || b.Mon.Action(tx.PAddr) != monitor.Ignore {
+		m.inj.FlipSkipped()
+		return
+	}
+	corrupted := monitor.Shared // bit 0
+	if bit == 1 {
+		corrupted = monitor.Private
+	}
+	b.Mon.SetAction(tx.PAddr, corrupted)
+	m.inj.FlipApplied()
+}
+
+// boardView adapts a Board to the watchdog's quiescent-inspection
+// interface.
+type boardView struct{ b *Board }
+
+func (v boardView) ID() int { return v.b.ID }
+
+func (v boardView) Hold(frame uint32) check.Hold {
+	fi := v.b.frames[frame]
+	if fi == nil {
+		return check.HoldNone
+	}
+	if fi.state == psPrivate {
+		return check.HoldPrivate
+	}
+	return check.HoldShared
+}
+
+func (v boardView) Protected(frame uint32) bool { return v.b.protected[frame] }
+
+func (v boardView) Action(frame uint32) monitor.Action {
+	return v.b.Mon.Action(v.b.frameAddr(frame))
+}
+
+func (v boardView) RepairAction(frame uint32, a monitor.Action) {
+	v.b.Mon.SetAction(v.b.frameAddr(frame), a)
+}
+
+func (v boardView) ForEachEntry(fn func(frame uint32, act monitor.Action)) {
+	v.b.Mon.ForEach(fn)
+}
+
+func (v boardView) ForEachHeld(fn func(frame uint32, h check.Hold)) {
+	frames := make([]uint32, 0, len(v.b.frames))
+	for f := range v.b.frames {
+		frames = append(frames, f)
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	for _, f := range frames {
+		fn(f, v.Hold(f))
+	}
 }
 
 // Config returns the (default-filled) machine configuration.
@@ -248,6 +376,14 @@ func (m *Machine) Performance(boardID int) float64 {
 // called at a quiescent point (after Run). It returns all violations.
 func (m *Machine) CheckInvariants() []string {
 	var out []string
+	if m.watch != nil {
+		// The watchdog's quiescent sweep runs first: it repairs injected
+		// table corruption (counting each detection) so the strict
+		// per-board checks below see a sane table, and records genuine
+		// protocol violations.
+		m.watch.FinalSweep()
+		out = append(out, m.watch.Violations()...)
+	}
 	if m.checker != nil {
 		out = append(out, m.checker.Violations()...)
 		if !m.pendingWords() {

@@ -97,3 +97,30 @@ func DefaultTiming() Timing {
 func (t Timing) RefTime() sim.Time {
 	return sim.Time(float64(t.InstrTime) / t.RefsPerInstr)
 }
+
+// RetryPolicy hardens the protocol retry loops: instead of retrying
+// forever at a fixed delay, consecutive retries of the same operation
+// back off exponentially (deterministically — the delay depends only on
+// the attempt number and board ID), long runs are counted as starvation
+// events, and a pathological run panics rather than livelocking the
+// simulation silently.
+type RetryPolicy struct {
+	// BackoffShiftCap caps the exponential backoff: the delay of attempt
+	// n is the base retry delay shifted left by min(n, cap).
+	BackoffShiftCap int
+	// StarveThreshold is the consecutive-retry count at which one
+	// starvation event is recorded (check/starvation-events).
+	StarveThreshold int
+	// HardLimit is the consecutive-retry count treated as a livelock:
+	// reaching it panics. Far above anything a surviving run produces.
+	HardLimit int
+}
+
+// DefaultRetryPolicy returns the calibrated limits.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		BackoffShiftCap: 6,
+		StarveThreshold: 64,
+		HardLimit:       1 << 17,
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vmp/internal/cache"
+	"vmp/internal/fault"
 	"vmp/internal/sim"
 	"vmp/internal/vm"
 )
@@ -26,17 +27,21 @@ type tortureConfig struct {
 	cacheKB   int
 	fifoDepth int
 	opsPerCPU int
-	pages     int // shared data pages
-	aliases   int // extra virtual aliases onto the shared pages
+	pages     int         // shared data pages
+	aliases   int         // extra virtual aliases onto the shared pages
+	faults    *fault.Spec // optional fault-injection plan
 }
 
-func runTorture(t *testing.T, seed uint64, tc tortureConfig) {
+func runTorture(t *testing.T, seed uint64, tc tortureConfig) *Machine {
 	t.Helper()
 	cfg := Config{
 		Processors: tc.procs,
 		Cache:      cache.Geometry(tc.cacheKB<<10, tc.pageSize, 4),
 		MemorySize: 8 << 20,
 		FIFODepth:  tc.fifoDepth,
+		Watchdog:   true,
+		Faults:     tc.faults,
+		FaultSeed:  seed,
 	}
 	m, err := NewMachine(cfg)
 	if err != nil {
@@ -192,6 +197,7 @@ func runTorture(t *testing.T, seed uint64, tc tortureConfig) {
 	if got := m.Mem.ReadWord(w.PAddr); got != uint32(total) {
 		t.Errorf("guarded counter %d, want %d", got, total)
 	}
+	return m
 }
 
 func TestTortureSmall(t *testing.T) {

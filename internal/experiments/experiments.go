@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vmp/internal/fault"
 	"vmp/internal/stats"
 )
 
@@ -35,6 +36,13 @@ type Options struct {
 	// the experiment ID, so each experiment sees its own stream and the
 	// result does not depend on which worker ran it or in what order.
 	Seed uint64
+	// Faults, when non-nil and enabled, injects the given fault plan into
+	// every machine an experiment builds (seeded per machine from the
+	// experiment seed, so runs stay deterministic).
+	Faults *fault.Spec
+	// Check enables the protocol invariant watchdog on every machine even
+	// when no faults are injected.
+	Check bool
 
 	// track collects the engines a run constructs, so the run layer can
 	// aggregate engine metrics after the runner returns. It is shared by
@@ -163,6 +171,7 @@ var Registry = []Experiment{
 	{"ipc", "mailbox IPC latency via bus-monitor notification", "Section 5.4", Light, AblationIPC},
 	{"workqueue", "shared work queue with notification locking", "Section 5.4", Moderate, AblationWorkQueue},
 	{"consistency", "consistency interrupts as effective miss-ratio inflation", "Section 5.1", Moderate, AblationConsistency},
+	{"fault-sweep", "protocol survival under deterministic fault injection", "Sections 3.1-3.4", Moderate, FaultSweep},
 }
 
 // byID indexes Registry for dispatch.

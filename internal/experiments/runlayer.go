@@ -69,8 +69,16 @@ func (o Options) engine() *sim.Engine {
 }
 
 // machine builds a core.Machine from an explicit configuration,
-// registered with the run's tracker.
+// registered with the run's tracker. The run-level fault plan and
+// watchdog setting apply to every machine whose config does not choose
+// its own, so `vmpbench -faults ...` stresses each experiment's
+// machines uniformly.
 func (o Options) machine(cfg core.Config) (*core.Machine, error) {
+	if cfg.Faults == nil && o.Faults != nil && o.Faults.Enabled() {
+		cfg.Faults = o.Faults
+		cfg.FaultSeed = o.Seed
+	}
+	cfg.Watchdog = cfg.Watchdog || o.Check
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"testing"
+
+	"vmp/internal/bus"
+	"vmp/internal/stats"
+)
+
+func newInj(spec Spec, seed uint64) *Injector {
+	return NewInjector(spec, seed, stats.NewRecorder())
+}
+
+// TestAbortableOpSet: only transactions with a retry path may be
+// spuriously aborted, even at rate 1. Write-back and notify must never
+// be offered up, whatever the spec says.
+func TestAbortableOpSet(t *testing.T) {
+	i := newInj(Spec{AbortRate: 1}, 1)
+	for _, op := range []bus.Op{bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership} {
+		if !i.AbortTransient(op) {
+			t.Errorf("AbortTransient(%v) = false at rate 1", op)
+		}
+	}
+	for _, op := range []bus.Op{bus.WriteBack, bus.Notify, bus.WriteActionTable, bus.PlainRead, bus.PlainWrite} {
+		if i.AbortTransient(op) {
+			t.Errorf("AbortTransient(%v) = true; %v has no recovery from a spurious abort", op, op)
+		}
+	}
+}
+
+// TestTransferableOpSet: transfer errors hit only copier block
+// transfers; DMA plain transfers have no re-issue loop.
+func TestTransferableOpSet(t *testing.T) {
+	i := newInj(Spec{CopyErrRate: 1}, 1)
+	for _, op := range []bus.Op{bus.ReadShared, bus.ReadPrivate, bus.WriteBack} {
+		if !i.TransferError(op) {
+			t.Errorf("TransferError(%v) = false at rate 1", op)
+		}
+	}
+	for _, op := range []bus.Op{bus.AssertOwnership, bus.Notify, bus.PlainRead, bus.PlainWrite} {
+		if i.TransferError(op) {
+			t.Errorf("TransferError(%v) = true", op)
+		}
+	}
+}
+
+// TestDisabledClassDrawsNothing: a zero-rate class must not consume
+// random numbers, so enabling one class does not perturb another's
+// sequence across runs with different specs.
+func TestDisabledClassDrawsNothing(t *testing.T) {
+	a := newInj(Spec{AbortRate: 0.5}, 42)
+	b := newInj(Spec{AbortRate: 0.5, CopyErrRate: 0, StormRate: 0, FlipRate: 0}, 42)
+	for n := 0; n < 200; n++ {
+		// b interleaves calls into its disabled classes; its abort
+		// stream must match a's exactly.
+		b.TransferError(bus.ReadShared)
+		b.StormExtra()
+		b.TableFlip(4)
+		got, want := b.AbortTransient(bus.ReadShared), a.AbortTransient(bus.ReadShared)
+		if got != want {
+			t.Fatalf("draw %d: abort decision %v, want %v (disabled classes consumed the stream)", n, got, want)
+		}
+	}
+}
+
+// TestDeterministicStreams: same (spec, seed) → same decision sequence.
+func TestDeterministicStreams(t *testing.T) {
+	spec := Spec{AbortRate: 0.3, CopyErrRate: 0.2, StormRate: 0.4, StormMax: 5, FlipRate: 0.1}
+	a, b := newInj(spec, 99), newInj(spec, 99)
+	for n := 0; n < 500; n++ {
+		if x, y := a.AbortTransient(bus.ReadPrivate), b.AbortTransient(bus.ReadPrivate); x != y {
+			t.Fatalf("draw %d: abort %v vs %v", n, x, y)
+		}
+		if x, y := a.TransferError(bus.WriteBack), b.TransferError(bus.WriteBack); x != y {
+			t.Fatalf("draw %d: xfer %v vs %v", n, x, y)
+		}
+		if x, y := a.StormExtra(), b.StormExtra(); x != y {
+			t.Fatalf("draw %d: storm %d vs %d", n, x, y)
+		}
+		ba, ia, oa := a.TableFlip(6)
+		bb, ib, ob := b.TableFlip(6)
+		if ba != bb || ia != ib || oa != ob {
+			t.Fatalf("draw %d: flip (%d,%d,%v) vs (%d,%d,%v)", n, ba, ia, oa, bb, ib, ob)
+		}
+	}
+}
+
+// TestStormBounds: storms deliver between 1 and StormMax duplicates,
+// and the default StormMax is 3.
+func TestStormBounds(t *testing.T) {
+	i := newInj(Spec{StormRate: 1, StormMax: 4}, 7)
+	for n := 0; n < 300; n++ {
+		if e := i.StormExtra(); e < 1 || e > 4 {
+			t.Fatalf("StormExtra = %d, want 1..4", e)
+		}
+	}
+	d := newInj(Spec{StormRate: 1}, 7)
+	if d.Spec().StormMax != 3 {
+		t.Errorf("default StormMax = %d, want 3", d.Spec().StormMax)
+	}
+	for n := 0; n < 300; n++ {
+		if e := d.StormExtra(); e < 1 || e > 3 {
+			t.Fatalf("StormExtra = %d, want 1..3", e)
+		}
+	}
+}
+
+// TestTableFlipRanges: decided flips name a valid board and one of the
+// entry's two bits.
+func TestTableFlipRanges(t *testing.T) {
+	i := newInj(Spec{FlipRate: 1}, 5)
+	seenBit := map[int]bool{}
+	for n := 0; n < 300; n++ {
+		board, bit, ok := i.TableFlip(4)
+		if !ok {
+			t.Fatal("flip at rate 1 not decided")
+		}
+		if board < 0 || board >= 4 || bit < 0 || bit > 1 {
+			t.Fatalf("flip target (%d, %d) out of range", board, bit)
+		}
+		seenBit[bit] = true
+	}
+	if !seenBit[0] || !seenBit[1] {
+		t.Errorf("bit coverage %v, want both bits drawn", seenBit)
+	}
+	if _, _, ok := i.TableFlip(0); ok {
+		t.Error("flip decided with zero boards")
+	}
+}
+
+// TestCounters: each decision increments exactly its own counter.
+func TestCounters(t *testing.T) {
+	rec := stats.NewRecorder()
+	i := NewInjector(Spec{AbortRate: 1, CopyErrRate: 1, StormRate: 1, StormMax: 2, FlipRate: 1}, 3, rec)
+	i.AbortTransient(bus.ReadShared)
+	i.TransferError(bus.WriteBack)
+	words := i.StormExtra()
+	i.TableFlip(4)
+	i.FlipApplied()
+	i.TableFlip(4)
+	i.FlipSkipped()
+	checks := map[string]int64{
+		"fault/injected-aborts":     1,
+		"fault/transfer-errors":     1,
+		"fault/storms":              1,
+		"fault/storm-words":         int64(words),
+		"fault/table-flips":         1,
+		"fault/table-flips-skipped": 1,
+	}
+	for name, want := range checks {
+		if got := rec.Value(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

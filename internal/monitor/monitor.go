@@ -93,6 +93,13 @@ func bindMonitorCounters(rec *stats.Recorder, prefix string) monitorCounters {
 	}
 }
 
+// PostInjector is the fault-injection hook for interrupt-word storms:
+// StormExtra returns how many duplicate copies of a posted word to
+// enqueue after it (0 = none).
+type PostInjector interface {
+	StormExtra() int
+}
+
 // Monitor is one processor board's bus monitor. Create with New.
 type Monitor struct {
 	boardID  int
@@ -101,9 +108,11 @@ type Monitor struct {
 	frames   int
 	fifo     []Word // ring buffer
 	head, n  int
+	cap      int // effective capacity: min(len(fifo), depth limit)
 	dropped  bool
 	ctr      monitorCounters
-	onPost   func() // interrupt line to the processor, may be nil
+	onPost   func()       // interrupt line to the processor, may be nil
+	inj      PostInjector // storm injection, may be nil
 }
 
 // New creates a monitor for board boardID covering a physical memory of
@@ -120,9 +129,25 @@ func New(boardID, frames, pageSize, fifoDepth int) *Monitor {
 		table:    make([]uint8, (frames+3)/4),
 		frames:   frames,
 		fifo:     make([]Word, fifoDepth),
+		cap:      fifoDepth,
 		ctr:      bindMonitorCounters(stats.NewRecorder(), "monitor/"),
 	}
 }
+
+// SetDepthLimit squeezes the effective FIFO capacity to min(depth, n),
+// the fault layer's way of forcing overflow without rebuilding the
+// monitor. n <= 0 restores the full depth.
+func (m *Monitor) SetDepthLimit(n int) {
+	if n <= 0 || n > len(m.fifo) {
+		m.cap = len(m.fifo)
+		return
+	}
+	m.cap = n
+}
+
+// SetInjector attaches a storm injector consulted on every posted word
+// (nil detaches).
+func (m *Monitor) SetInjector(inj PostInjector) { m.inj = inj }
 
 // BindRecorder re-registers the monitor's counters in a per-run metrics
 // sink under the given name prefix (e.g. "board0/monitor/"). Call it
@@ -218,14 +243,28 @@ func (m *Monitor) Check(tx bus.Transaction) (abort, interrupt bool) {
 }
 
 // Post implements bus.Snooper: enqueue a FIFO word, or set the overflow
-// flag if the FIFO is full.
+// flag if the FIFO is full. Under an injected storm the word is
+// duplicated; duplicates are harmless to a correct service routine
+// (interrupt handling is idempotent and state-based) but fill the FIFO
+// toward overflow.
 func (m *Monitor) Post(tx bus.Transaction) {
-	if m.n == len(m.fifo) {
+	w := Word{Op: tx.Op, PAddr: tx.PAddr}
+	m.push(w)
+	if m.inj != nil {
+		for extra := m.inj.StormExtra(); extra > 0; extra-- {
+			m.push(w)
+		}
+	}
+}
+
+// push enqueues one word or records overflow.
+func (m *Monitor) push(w Word) {
+	if m.n >= m.cap {
 		m.dropped = true
 		m.ctr.droppedWords.Inc()
 		return
 	}
-	m.fifo[(m.head+m.n)%len(m.fifo)] = Word{Op: tx.Op, PAddr: tx.PAddr}
+	m.fifo[(m.head+m.n)%len(m.fifo)] = w
 	m.n++
 	m.ctr.interrupts.Inc()
 	if m.onPost != nil {
@@ -283,3 +322,15 @@ func (m *Monitor) Drain() {
 
 // Frames returns the number of frames the action table covers.
 func (m *Monitor) Frames() int { return m.frames }
+
+// ForEach calls fn for every frame whose action-table entry is not
+// Ignore, in frame order. Used by the invariant watchdog's quiescent
+// table sweep.
+func (m *Monitor) ForEach(fn func(frame uint32, act Action)) {
+	for f := 0; f < m.frames; f++ {
+		shift := uint(f&3) * 2
+		if a := Action(m.table[f>>2] >> shift & 3); a != Ignore {
+			fn(uint32(f), a)
+		}
+	}
+}
