@@ -119,6 +119,12 @@ type jsonResult struct {
 	Engines         int     `json:"engines"`
 	SimNsPerWallMs  float64 `json:"sim_ns_per_wall_ms"`
 
+	// FaultCounters and CheckCounters report the summed fault-injection
+	// and invariant-watchdog activity across the experiment's machines
+	// (map keys are sorted by json.Marshal, so output is deterministic).
+	FaultCounters map[string]int64 `json:"fault_counters,omitempty"`
+	CheckCounters map[string]int64 `json:"check_counters,omitempty"`
+
 	Table     *jsonTable `json:"table,omitempty"`
 	PaperNote string     `json:"paper_note,omitempty"`
 }
@@ -143,6 +149,8 @@ func emitJSON(results []*experiments.Result) error {
 			MaxQueueDepth:   r.Metrics.MaxQueueDepth,
 			Engines:         r.Metrics.Engines,
 			SimNsPerWallMs:  r.Metrics.SimNsPerWallMs(),
+			FaultCounters:   r.Metrics.FaultCounters,
+			CheckCounters:   r.Metrics.CheckCounters,
 			PaperNote:       r.PaperNote,
 		}
 		if e, ok := experiments.Lookup(r.ID); ok {

@@ -8,6 +8,11 @@
 //	vmpsim -procs 2 -trace edit.trc
 //	vmpsim -procs 4 -profile compile -sharekernel
 //	vmpsim -procs 4 -faults abort=0.05,copy=0.02 -check
+//	vmpsim -procs 4 -trace-out run.json      # Perfetto/chrome://tracing trace
+//	vmpsim -procs 4 -phases -hotpages 10     # phase latencies + hot pages
+//
+// The process exits non-zero when the shadow checker reports an
+// invariant violation or any board observes a protocol violation.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"vmp/internal/cache"
 	"vmp/internal/core"
 	"vmp/internal/fault"
+	"vmp/internal/obs"
 	"vmp/internal/stats"
 	"vmp/internal/trace"
 	"vmp/internal/workload"
@@ -44,6 +50,10 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "dump the full per-run metrics sink (every counter)")
 		faults      = flag.String("faults", "", "fault-injection spec, e.g. abort=0.05,copy=0.02,fifo=2,storm=0.1,flip=0.02 (empty/none = off)")
 		checkFlag   = flag.Bool("check", false, "enable the protocol invariant watchdog (implied by -faults)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event/Perfetto JSON trace of the run to this file")
+		dumpOnExit  = flag.Bool("dump-on-exit", false, "dump the flight recorder to stderr when the run ends")
+		hotpages    = flag.Int("hotpages", 0, "print the top-N cache pages by consistency traffic")
+		phases      = flag.Bool("phases", false, "print the per-phase miss-handler latency table")
 	)
 	flag.Parse()
 
@@ -52,6 +62,9 @@ func main() {
 		fatal(err)
 	}
 
+	// The flight recorder (ring buffer, histograms, hot-page stats) is
+	// always on — it is O(1) per event — but the full stream is retained
+	// only when the Perfetto exporter needs it.
 	m, err := core.NewMachine(core.Config{
 		Processors: *procs,
 		Cache:      cache.Geometry(*cacheSize, *pageSize, *assoc),
@@ -60,6 +73,7 @@ func main() {
 		Faults:     spec,
 		FaultSeed:  *seed,
 		Watchdog:   *checkFlag,
+		Obs:        &obs.Config{Stream: *traceOut != ""},
 	})
 	if err != nil {
 		fatal(err)
@@ -88,6 +102,26 @@ func main() {
 	}
 
 	end := m.Run()
+
+	// Write run artifacts before the violation checks so a failing run
+	// still leaves its trace behind for inspection.
+	sink := m.Sink()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteTrace(f, sink.Stream()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *dumpOnExit {
+		sink.AutoDump("dump-on-exit requested")
+	}
+
 	if v := m.CheckInvariants(); len(v) != 0 {
 		fmt.Fprintln(os.Stderr, "PROTOCOL VIOLATIONS:")
 		for _, s := range v {
@@ -103,12 +137,14 @@ func main() {
 
 	t := stats.NewTable("Per-board results",
 		"Board", "Refs", "Miss Ratio (%)", "Performance", "WriteBacks", "Inval In", "Downgrades", "Retries", "Recoveries")
+	var violations uint64
 	for i, b := range m.Boards {
 		cs := b.Cache.Stats()
 		bs := b.Stats()
 		missRatio := 100 * float64(cs.Fills) / float64(bs.Refs)
 		t.Add(i, bs.Refs, missRatio, m.Performance(i),
 			bs.WriteBacks, bs.InvalidationsIn, bs.DowngradesIn, bs.Retries, bs.Recoveries)
+		violations += bs.Violations
 	}
 	fmt.Println(t)
 
@@ -141,8 +177,23 @@ func main() {
 		fmt.Println(ft)
 	}
 
+	if *phases {
+		fmt.Println(sink.PhaseTable())
+	}
+	if *hotpages > 0 {
+		fmt.Println(sink.HotPageTable(*hotpages))
+	}
+
 	if *metrics {
 		fmt.Println(m.Eng.Recorder().Table("Per-run metrics sink"))
+	}
+
+	// Per-board violation counters record protocol violations the boards
+	// themselves observed (e.g. a write-back against a privately held
+	// frame); a run that saw any must not report success.
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "vmpsim: %d protocol violation(s) observed by boards\n", violations)
+		os.Exit(1)
 	}
 }
 

@@ -15,6 +15,7 @@ package bus
 import (
 	"fmt"
 
+	"vmp/internal/obs"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 )
@@ -214,6 +215,7 @@ type Bus struct {
 	snoopers []Snooper
 	inj      Injector
 	observer func(Transaction, Result)
+	sink     *obs.Sink
 
 	tx       [numOps]*stats.Counter
 	aborts   *stats.Counter
@@ -255,6 +257,10 @@ func New(eng *sim.Engine) *Bus {
 // SetInjector attaches a fault injector consulted on every transaction
 // (nil detaches).
 func (b *Bus) SetInjector(inj Injector) { b.inj = inj }
+
+// SetSink attaches the observability sink; every transaction then emits
+// one KindBus event (nil detaches, costing one branch per transaction).
+func (b *Bus) SetSink(s *obs.Sink) { b.sink = s }
 
 // SetObserver registers fn to be called after every transaction's
 // effects are applied, while the bus is still held. The fault layer uses
@@ -385,6 +391,25 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 	b.busy.Add(int64(busy))
 	if tx.Requester != NoRequester {
 		b.boardBusy(tx.Requester).Add(int64(busy))
+	}
+	if b.sink != nil {
+		var fl uint8
+		if tx.Op.ConsistencyRelated() {
+			fl |= obs.FlagConsistency
+		}
+		if res.Aborted {
+			fl |= obs.FlagAborted
+		}
+		if res.SpuriousAbort {
+			fl |= obs.FlagSpurious
+		}
+		if res.TransferErr {
+			fl |= obs.FlagTransferErr
+		}
+		b.sink.Emit(obs.Event{
+			Time: b.eng.Now(), Dur: busy, PAddr: tx.PAddr,
+			Board: int16(tx.Requester), Kind: obs.KindBus, Arg: uint8(tx.Op), Flags: fl,
+		})
 	}
 	if b.observer != nil {
 		b.observer(tx, res)

@@ -114,6 +114,12 @@ type Watchdog struct {
 	// so detected-and-repaired corruption is the *passing* outcome.
 	expectCorruption bool
 
+	// onViolation, when set, fires for every recorded violation — the
+	// machine uses it to dump the flight recorder the moment the first
+	// violation happens, while the surrounding events are still in the
+	// ring.
+	onViolation func(msg string)
+
 	violations []string
 
 	transactions *stats.Counter
@@ -151,12 +157,20 @@ func (w *Watchdog) Attach(v BoardView) { w.views = append(w.views, v) }
 // violations.
 func (w *Watchdog) SetExpectCorruption(on bool) { w.expectCorruption = on }
 
+// SetViolationHook registers fn to be called with each recorded
+// violation message, at the moment it is recorded (nil detaches).
+func (w *Watchdog) SetViolationHook(fn func(msg string)) { w.onViolation = fn }
+
 // Violations returns the violations recorded so far.
 func (w *Watchdog) Violations() []string { return w.violations }
 
 func (w *Watchdog) violate(format string, args ...interface{}) {
 	if len(w.violations) < maxViolations {
-		w.violations = append(w.violations, fmt.Sprintf(format, args...))
+		msg := fmt.Sprintf(format, args...)
+		w.violations = append(w.violations, msg)
+		if w.onViolation != nil {
+			w.onViolation(msg)
+		}
 	}
 }
 

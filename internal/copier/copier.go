@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"vmp/internal/bus"
+	"vmp/internal/obs"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 )
@@ -35,7 +36,8 @@ type Copier struct {
 	done   sim.Signal
 	result bus.Result
 
-	ctr copierCounters
+	ctr  copierCounters
+	sink *obs.Sink
 }
 
 // Stats counts copier activity.
@@ -85,6 +87,10 @@ func (c *Copier) Stats() Stats {
 	}
 }
 
+// SetSink attaches the observability sink; every transfer then emits a
+// KindCopy event spanning its start to completion, re-issues included.
+func (c *Copier) SetSink(s *obs.Sink) { c.sink = s }
+
 // Busy reports whether a transfer is in flight.
 func (c *Copier) Busy() bool { return c.busy }
 
@@ -100,6 +106,7 @@ func (c *Copier) Start(tx bus.Transaction) {
 	c.busy = true
 	c.eng.Spawn("copier", func(p *sim.Process) {
 		start := p.Now()
+		reissued := false
 		res := c.bus.Do(p, tx)
 		c.ctr.transfers.Inc()
 		// A transfer error has no protocol side effects, so the copier
@@ -109,6 +116,7 @@ func (c *Copier) Start(tx bus.Transaction) {
 		// reported up instead of retried here.
 		for attempt := 0; res.TransferErr; attempt++ {
 			c.ctr.xferErrs.Inc()
+			reissued = true
 			if attempt == maxReissues {
 				panic(fmt.Sprintf("copier: board %d transfer %v paddr %#x failed %d times",
 					c.boardID, tx.Op, tx.PAddr, maxReissues))
@@ -127,6 +135,19 @@ func (c *Copier) Start(tx bus.Transaction) {
 			c.ctr.aborted.Inc()
 		} else {
 			c.ctr.bytesMoved.Add(int64(tx.Bytes))
+		}
+		if c.sink != nil {
+			var fl uint8
+			if res.Aborted {
+				fl |= obs.FlagAborted
+			}
+			if reissued {
+				fl |= obs.FlagTransferErr
+			}
+			c.sink.Emit(obs.Event{
+				Time: start, Dur: p.Now() - start, PAddr: tx.PAddr,
+				Board: int16(c.boardID), Kind: obs.KindCopy, Arg: uint8(tx.Op), Flags: fl,
+			})
 		}
 		c.result = res
 		c.busy = false

@@ -8,6 +8,7 @@ import (
 	"vmp/internal/cache"
 	"vmp/internal/copier"
 	"vmp/internal/monitor"
+	"vmp/internal/obs"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 	"vmp/internal/vm"
@@ -116,6 +117,10 @@ type Board struct {
 	// invocation, in microseconds (exponential buckets 1µs..1ms).
 	missHist *stats.Histogram
 
+	// sink is the run's observability sink (nil when tracing is off:
+	// every emission site below is guarded by one nil check).
+	sink *obs.Sink
+
 	ctr boardCounters
 }
 
@@ -136,8 +141,11 @@ func newBoard(m *Machine, id int) *Board {
 		slotFrame: make([]uint32, m.cfg.Cache.Slots()),
 		protected: make(map[uint32]bool),
 		missHist:  stats.NewHistogram(1, 1024), // µs
+		sink:      m.sink,
 		ctr:       bindBoardCounters(rec, prefix),
 	}
+	b.Mon.SetSink(m.sink)
+	b.Cop.SetSink(m.sink)
 	b.Mon.SetInterruptLine(func() { b.intrSig.Broadcast() })
 	m.Bus.Attach(b.Mon)
 	return b
@@ -206,9 +214,23 @@ func (b *Board) noteRetry(n int) {
 		b.m.starve.Inc()
 	}
 	if n >= pol.HardLimit {
+		// Leave the last events on record before dying: a livelock's cause
+		// is in the transactions just before the limit, not the panic text.
+		b.sink.AutoDump(fmt.Sprintf("livelock: board %d reached the %d-retry hard limit", b.ID, n))
 		panic(fmt.Sprintf("core: board %d livelocked after %d consecutive retries", b.ID, n))
 	}
 }
+
+// emitPhase records one miss-handler phase span in the observability
+// sink. Callers must guard with `b.sink != nil` (the nil-sink
+// discipline: one predictable branch per event site).
+func (b *Board) emitPhase(ph obs.Phase, start, dur sim.Time, asid uint8, paddr uint32, flags uint8) {
+	b.sink.Emit(obs.Event{
+		Time: start, Dur: dur, PAddr: paddr, Board: int16(b.ID),
+		ASID: asid, Kind: obs.KindPhase, Arg: uint8(ph), Flags: flags,
+	})
+}
+
 func (b *Board) frameOf(paddr uint32) uint32 {
 	return paddr / uint32(b.pageSize())
 }
@@ -284,23 +306,41 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 		d := p.Now() - start
 		b.ctr.missTimeNs.Add(int64(d))
 		b.missHist.Add(d.Micros())
+		if b.sink != nil {
+			var fl uint8
+			if retried {
+				fl = obs.FlagAborted
+			}
+			b.emitPhase(obs.PhaseMiss, start, d, asid, 0, fl)
+		}
 	}()
 
 	p.Delay(t.Handler.TrapEntry)
+	if b.sink != nil {
+		b.emitPhase(obs.PhaseTrap, start, t.Handler.TrapEntry, asid, 0, 0)
+	}
 
 	// Translate first (the table walk may recursively miss and fill the
 	// page-table's own cache page, so the victim is chosen after).
+	ts := p.Now()
 	walk, err := b.translate(p, asid, vaddr, acc, 0)
 	if err != nil {
 		return false, err
 	}
 	frame := b.frameOf(walk.PAddr)
 	pageAddr := b.frameAddr(frame)
+	if b.sink != nil {
+		b.emitPhase(obs.PhaseTranslate, ts, p.Now()-ts, asid, pageAddr, 0)
+	}
 
 	// Victim selection and eviction.
+	ts = p.Now()
 	p.Delay(t.Handler.VictimSelect)
 	victim := b.Cache.SuggestVictim(vaddr)
 	b.evict(p, victim)
+	if b.sink != nil {
+		b.emitPhase(obs.PhaseVictim, ts, p.Now()-ts, asid, pageAddr, 0)
+	}
 
 	// Resolve our own aliases for the target frame before going to the
 	// bus, from local-memory state (see the monitor package comment).
@@ -312,17 +352,29 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 	b.resolveOwnAliases(p, frame, wantPrivate)
 
 	// Program the block copier; bookkeeping overlaps the transfer.
+	ts = p.Now()
 	b.Cop.Start(bus.Transaction{Op: op, PAddr: pageAddr, Bytes: b.pageSize()})
 	p.Delay(t.Handler.BookkeepRead)
 	res := b.Cop.Wait(p)
+	if b.sink != nil {
+		var fl uint8
+		if res.Aborted {
+			fl = obs.FlagAborted
+		}
+		b.emitPhase(obs.PhaseCopy, ts, p.Now()-ts, asid, pageAddr, fl)
+	}
 	if res.Aborted {
 		// Ownership conflict: the owner was interrupted and will
 		// release the page. Re-trap, service our own interrupts (we may
 		// be the owner under an alias, or hold a stale entry), retry.
 		b.ctr.retries.Inc()
+		ts = p.Now()
 		p.Delay(b.retryBackoff(attempt))
 		b.resolveOwnConflict(p, frame)
 		b.ServiceInterrupts(p)
+		if b.sink != nil {
+			b.emitPhase(obs.PhaseRetry, ts, p.Now()-ts, asid, pageAddr, 0)
+		}
 		return true, nil // Access re-looks-up and re-traps
 	}
 
@@ -351,6 +403,9 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 	}
 
 	p.Delay(t.Handler.Epilogue)
+	if b.sink != nil {
+		b.emitPhase(obs.PhaseEpilogue, p.Now()-t.Handler.Epilogue, t.Handler.Epilogue, asid, pageAddr, 0)
+	}
 	return false, nil
 }
 
@@ -450,7 +505,17 @@ func (b *Board) refNested(p *sim.Process, asid uint8, vaddr uint32, depth int) e
 func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cache.Access, depth, attempt int) (retried bool, err error) {
 	t := b.timing()
 	start := p.Now()
-	defer func() { b.ctr.missTimeNs.Add(int64(p.Now() - start)) }()
+	defer func() {
+		d := p.Now() - start
+		b.ctr.missTimeNs.Add(int64(d))
+		if b.sink != nil {
+			fl := uint8(obs.FlagNested)
+			if retried {
+				fl |= obs.FlagAborted
+			}
+			b.emitPhase(obs.PhaseMiss, start, d, asid, 0, fl)
+		}
+	}()
 
 	p.Delay(t.Handler.TrapEntry)
 	walk, err := b.translate(p, asid, vaddr, acc, depth)
@@ -511,14 +576,23 @@ func (b *Board) evict(p *sim.Process, victim cache.SlotID) {
 		// that board a violation word, it clears the entry, and our
 		// retry goes through.
 		b.ctr.writeBacks.Inc()
+		ts := p.Now()
 		b.Cop.Start(bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
 		p.Delay(b.timing().Handler.BookkeepWB)
 		res := b.Cop.Wait(p)
+		wbRetried := res.Aborted
 		for attempt := 0; res.Aborted; attempt++ {
 			b.ctr.writeBackRetries.Inc()
 			b.noteRetry(attempt + 1)
 			p.Delay(b.retryBackoff(attempt))
 			res = b.Cop.Run(p, bus.Transaction{Op: bus.WriteBack, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
+		}
+		if b.sink != nil {
+			var fl uint8
+			if wbRetried {
+				fl = obs.FlagAborted
+			}
+			b.emitPhase(obs.PhaseWriteBack, ts, p.Now()-ts, 0, b.frameAddr(frame), fl)
 		}
 		if b.m.checker != nil {
 			b.m.checker.released(b.ID, frame)
@@ -564,7 +638,17 @@ func (b *Board) detachSlot(frame uint32, fi *frameInfo, slot cache.SlotID) {
 func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32, attempt int) (retried bool) {
 	t := b.timing()
 	start := p.Now()
-	defer func() { b.ctr.missTimeNs.Add(int64(p.Now() - start)) }()
+	var upPA uint32
+	defer func() {
+		b.ctr.missTimeNs.Add(int64(p.Now() - start))
+		if b.sink != nil {
+			var fl uint8
+			if retried {
+				fl = obs.FlagAborted
+			}
+			b.emitPhase(obs.PhaseUpgrade, start, p.Now()-start, asid, upPA, fl)
+		}
+	}()
 
 	p.Delay(t.Handler.TrapEntry)
 	slot, ok := b.Cache.FindVirtual(asid, vaddr)
@@ -576,6 +660,7 @@ func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32, attem
 	}
 	frame := b.slotFrame[slot]
 	fi := b.frames[frame]
+	upPA = b.frameAddr(frame)
 
 	res := b.m.Bus.Do(p, bus.Transaction{
 		Op: bus.AssertOwnership, PAddr: b.frameAddr(frame), Requester: b.ID,
@@ -662,15 +747,25 @@ func (b *Board) releaseOwnership(p *sim.Process, frame uint32, fi *frameInfo, ke
 
 	if st.Flags.Has(cache.Modified) {
 		b.ctr.writeBacks.Inc()
+		ts := p.Now()
+		wbRetried := false
 		tx := bus.Transaction{
 			Op: bus.WriteBack, PAddr: paddr, Bytes: b.pageSize(), Downgrade: keepShared,
 		}
 		for attempt := 0; b.Cop.Run(p, tx).Aborted; attempt++ {
 			// Spurious abort from a stale foreign Shared entry; that
 			// board clears it on the violation word and we retry.
+			wbRetried = true
 			b.ctr.writeBackRetries.Inc()
 			b.noteRetry(attempt + 1)
 			p.Delay(b.retryBackoff(attempt))
+		}
+		if b.sink != nil {
+			var fl uint8
+			if wbRetried {
+				fl = obs.FlagAborted
+			}
+			b.emitPhase(obs.PhaseWriteBack, ts, p.Now()-ts, 0, paddr, fl)
 		}
 	} else {
 		// Clean: no data to move, but the action-table entry must leave
@@ -805,6 +900,9 @@ func (b *Board) ServiceInterrupts(p *sim.Process) {
 			p.Delay(b.timing().Handler.Interrupt)
 			b.handleWord(p, w)
 			b.ctr.intrTimeNs.Add(int64(p.Now() - start))
+			if b.sink != nil {
+				b.emitPhase(obs.PhaseIntrSvc, start, p.Now()-start, 0, w.PAddr, 0)
+			}
 		}
 		if !b.Mon.Dropped() {
 			return

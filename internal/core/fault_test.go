@@ -182,7 +182,7 @@ func TestChaos(t *testing.T) {
 func TestAssertFlushHealsOwnStaleEntry(t *testing.T) {
 	m, err := NewMachine(Config{
 		Processors: 1,
-		Cache:      cache.Geometry(32 << 10, 256, 4),
+		Cache:      cache.Geometry(32<<10, 256, 4),
 		MemorySize: 8 << 20,
 	})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"vmp/internal/fault"
 	"vmp/internal/memory"
 	"vmp/internal/monitor"
+	"vmp/internal/obs"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 	"vmp/internal/trace"
@@ -48,6 +49,11 @@ type Config struct {
 	// Watchdog attaches the protocol invariant watchdog (internal/check)
 	// to every bus transaction. It is implied by an enabled fault spec.
 	Watchdog bool
+	// Obs, when non-nil, attaches the observability sink (internal/obs):
+	// flight recorder, per-phase latency histograms, hot-page
+	// attribution, and (with Obs.Stream) the full event stream for
+	// Perfetto export. Nil costs one predictable branch per event site.
+	Obs *obs.Config
 	// Retry bounds the protocol retry loops (zero value = defaults).
 	Retry RetryPolicy
 }
@@ -88,6 +94,7 @@ type Machine struct {
 	checker  *checker
 	inj      *fault.Injector
 	watch    *check.Watchdog
+	sink     *obs.Sink
 	starve   *stats.Counter
 	draining bool
 
@@ -118,6 +125,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.BusTiming != (bus.Timing{}) {
 		m.Bus.SetTiming(cfg.BusTiming)
 	}
+	if cfg.Obs != nil {
+		m.sink = obs.NewSink(*cfg.Obs, eng.Now)
+		m.Bus.SetSink(m.sink)
+	}
 	if !cfg.DisableChecker {
 		m.checker = newChecker()
 	}
@@ -142,6 +153,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.watch.SetExpectCorruption(m.inj != nil && m.inj.Spec().FlipRate > 0)
 		for _, b := range m.Boards {
 			m.watch.Attach(boardView{b})
+		}
+		if m.sink != nil {
+			// Dump the flight recorder the moment the first violation is
+			// recorded, while the events leading up to it are still in the
+			// ring (AutoDump is once-only; later violations are no-ops).
+			m.watch.SetViolationHook(func(msg string) {
+				m.sink.Emit(obs.Event{Time: m.sink.Now(), Kind: obs.KindViolation})
+				m.sink.AutoDump("protocol violation: " + msg)
+			})
 		}
 	}
 	if m.inj != nil || m.watch != nil {
@@ -234,6 +254,9 @@ func (v boardView) ForEachHeld(fn func(frame uint32, h check.Hold)) {
 
 // Config returns the (default-filled) machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// Sink returns the observability sink, or nil when tracing is off.
+func (m *Machine) Sink() *obs.Sink { return m.sink }
 
 // EnsureSpace creates the address space if it does not exist yet.
 func (m *Machine) EnsureSpace(asid uint8) error {
@@ -375,6 +398,17 @@ func (m *Machine) Performance(boardID int) float64 {
 // every board's local tables with its cache and monitor. It must be
 // called at a quiescent point (after Run). It returns all violations.
 func (m *Machine) CheckInvariants() []string {
+	out := m.checkInvariants()
+	if len(out) > 0 && m.sink != nil {
+		// Post-run violations (quiescent sweeps, local-table checks) have
+		// no mid-run hook; dump the flight recorder now if the watchdog
+		// hook has not already done so.
+		m.sink.AutoDump("post-run invariant check failed: " + out[0])
+	}
+	return out
+}
+
+func (m *Machine) checkInvariants() []string {
 	var out []string
 	if m.watch != nil {
 		// The watchdog's quiescent sweep runs first: it repairs injected

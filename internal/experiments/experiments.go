@@ -172,6 +172,7 @@ var Registry = []Experiment{
 	{"workqueue", "shared work queue with notification locking", "Section 5.4", Moderate, AblationWorkQueue},
 	{"consistency", "consistency interrupts as effective miss-ratio inflation", "Section 5.1", Moderate, AblationConsistency},
 	{"fault-sweep", "protocol survival under deterministic fault injection", "Sections 3.1-3.4", Moderate, FaultSweep},
+	{"misscost", "per-phase miss-cost breakdown from the event stream", "Table 2", Moderate, MissCost},
 }
 
 // byID indexes Registry for dispatch.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"time"
 
 	"vmp/internal/cache"
@@ -31,6 +32,14 @@ type Metrics struct {
 	EventsScheduled uint64
 	MaxQueueDepth   int // high-water event-queue depth over all engines
 	Engines         int // engines (machines) the run constructed
+
+	// FaultCounters and CheckCounters sum the fault-injection and
+	// invariant-watchdog counters ("fault/..." and "check/..." in each
+	// engine's recorder) across every machine the run built, so
+	// `vmpbench -json` can report what the fault layer actually did and
+	// what the watchdog saw. Nil when no such counters were registered.
+	FaultCounters map[string]int64
+	CheckCounters map[string]int64
 }
 
 func (t *engineTrack) metrics(wall time.Duration) Metrics {
@@ -44,6 +53,20 @@ func (t *engineTrack) metrics(wall time.Duration) Metrics {
 			m.MaxQueueDepth = em.MaxQueueDepth
 		}
 		m.Engines++
+		for _, met := range e.Recorder().Snapshot() {
+			switch {
+			case strings.HasPrefix(met.Name, "fault/"):
+				if m.FaultCounters == nil {
+					m.FaultCounters = make(map[string]int64)
+				}
+				m.FaultCounters[strings.TrimPrefix(met.Name, "fault/")] += met.Value
+			case strings.HasPrefix(met.Name, "check/"):
+				if m.CheckCounters == nil {
+					m.CheckCounters = make(map[string]int64)
+				}
+				m.CheckCounters[strings.TrimPrefix(met.Name, "check/")] += met.Value
+			}
+		}
 	}
 	return m
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"vmp/internal/bus"
+	"vmp/internal/obs"
 	"vmp/internal/stats"
 )
 
@@ -113,6 +114,7 @@ type Monitor struct {
 	ctr      monitorCounters
 	onPost   func()       // interrupt line to the processor, may be nil
 	inj      PostInjector // storm injection, may be nil
+	sink     *obs.Sink    // observability sink, may be nil
 }
 
 // New creates a monitor for board boardID covering a physical memory of
@@ -148,6 +150,11 @@ func (m *Monitor) SetDepthLimit(n int) {
 // SetInjector attaches a storm injector consulted on every posted word
 // (nil detaches).
 func (m *Monitor) SetInjector(inj PostInjector) { m.inj = inj }
+
+// SetSink attaches the observability sink: every enqueued word emits a
+// KindIntr event and every dropped word a KindOverflow event, stamped
+// with the sink's clock (the monitor has none of its own).
+func (m *Monitor) SetSink(s *obs.Sink) { m.sink = s }
 
 // BindRecorder re-registers the monitor's counters in a per-run metrics
 // sink under the given name prefix (e.g. "board0/monitor/"). Call it
@@ -262,11 +269,23 @@ func (m *Monitor) push(w Word) {
 	if m.n >= m.cap {
 		m.dropped = true
 		m.ctr.droppedWords.Inc()
+		if m.sink != nil {
+			m.sink.Emit(obs.Event{
+				Time: m.sink.Now(), PAddr: w.PAddr, Board: int16(m.boardID),
+				Kind: obs.KindOverflow, Arg: uint8(w.Op),
+			})
+		}
 		return
 	}
 	m.fifo[(m.head+m.n)%len(m.fifo)] = w
 	m.n++
 	m.ctr.interrupts.Inc()
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{
+			Time: m.sink.Now(), PAddr: w.PAddr, Board: int16(m.boardID),
+			Kind: obs.KindIntr, Arg: uint8(w.Op),
+		})
+	}
 	if m.onPost != nil {
 		m.onPost()
 	}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vmp/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace file")
+
+// goldenEvents is a small hand-built stream exercising every track type
+// (bus, cpu, copier), complete and instant events, flags, and the
+// metadata rows for two boards.
+func goldenEvents() []Event {
+	return []Event{
+		{Time: 1000, Dur: 2100, PAddr: 0x1a00, Board: 0, Kind: KindBus, Arg: 0, Flags: FlagConsistency},
+		{Time: 3500, Kind: KindIntr, Board: 1, PAddr: 0x1a00, Arg: 1},
+		{Time: 4000, Dur: 9000, PAddr: 0x1a00, Board: 0, ASID: 2, Kind: KindPhase, Arg: uint8(PhaseMiss)},
+		{Time: 5000, Dur: 6400, PAddr: 0x1a00, Board: 0, Kind: KindCopy, Arg: 1, Flags: FlagTransferErr},
+		{Time: 15250, Dur: 750, PAddr: 0x2000, Board: 1, ASID: 3, Kind: KindPhase, Arg: uint8(PhaseUpgrade), Flags: FlagAborted},
+		{Time: 16000, Kind: KindViolation, Board: NoBoard},
+	}
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden_trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/obs -run TestWriteTraceGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from golden file; regenerate with -update if the change is intended\ngot:\n%s", buf.String())
+	}
+}
+
+// traceDoc mirrors the trace-event JSON shape for validation.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string          `json:"ph"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Ts   json.Number     `json:"ts"`
+		Dur  json.Number     `json:"dur"`
+		Name string          `json:"name"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteTraceParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("exporter produced invalid JSON:\n%s", buf.String())
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	var meta, complete, instant int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		case "i":
+			instant++
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	// Tracks: bus + 2 boards x (cpu, copier) = 5, each with a name and a
+	// sort-index row.
+	if meta != 10 {
+		t.Errorf("metadata rows = %d, want 10", meta)
+	}
+	// Events with Dur > 0 are complete; Dur == 0 are instants.
+	if complete != 4 || instant != 2 {
+		t.Errorf("complete/instant = %d/%d, want 4/2", complete, instant)
+	}
+}
+
+func TestTraceTIDPlacesTracks(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want int
+	}{
+		{Event{Kind: KindBus, Board: 3}, busTID},
+		{Event{Kind: KindViolation, Board: 2}, busTID},
+		{Event{Kind: KindCopy, Board: 1}, copierTID(1)},
+		{Event{Kind: KindPhase, Board: 1}, cpuTID(1)},
+		{Event{Kind: KindIntr, Board: 0}, cpuTID(0)},
+		{Event{Kind: KindOverflow, Board: 2}, cpuTID(2)},
+	}
+	for _, c := range cases {
+		if got := traceTID(c.e); got != c.want {
+			t.Errorf("traceTID(%v on board %d) = %d, want %d", c.e.Kind, c.e.Board, got, c.want)
+		}
+	}
+	if cpuTID(0) == copierTID(0) || cpuTID(1) == copierTID(0) {
+		t.Error("track id collision between cpu and copier tracks")
+	}
+}
+
+func TestTraceNames(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: KindBus, Arg: 2}, "assert-ownership"},
+		{Event{Kind: KindIntr, Arg: 1}, "intr:read-private"},
+		{Event{Kind: KindCopy, Arg: 3}, "copy:write-back"},
+		{Event{Kind: KindPhase, Arg: uint8(PhaseVictim)}, "victim"},
+		{Event{Kind: KindViolation}, "violation"},
+		{Event{Kind: KindOverflow}, "fifo-overflow"},
+	}
+	for _, c := range cases {
+		if got := traceName(c.e); got != c.want {
+			t.Errorf("traceName(%v, %d) = %q, want %q", c.e.Kind, c.e.Arg, got, c.want)
+		}
+	}
+}
+
+func TestMicrosFractional(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"},
+		{5, "0.005"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1234567, "1234.567"},
+		{int64(3 * sim.Millisecond), "3000.000"},
+	}
+	for _, c := range cases {
+		if got := micros(c.ns); got != c.want {
+			t.Errorf("micros(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestWriteTraceEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty trace is invalid JSON:\n%s", buf.String())
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Only the bus metadata rows: no boards appear in an empty stream.
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("empty trace has %d rows, want 2 (bus thread_name + sort_index)", len(doc.TraceEvents))
+	}
+}
