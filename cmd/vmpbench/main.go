@@ -14,10 +14,14 @@
 //	vmpbench -md             # EXPERIMENTS.md-style markdown on stdout
 //	vmpbench -run fault-sweep -faults abort=0.05 -check
 //	                         # fault injection + invariant watchdog
+//	vmpbench -sweep grid.json -out sweep.json
+//	                         # expand a scenario grid and run every cell
 //
 // Results are deterministic for a given -seed regardless of -workers:
 // each experiment's workload seed derives from the id, not from
-// scheduling order.
+// scheduling order. Likewise a -sweep's per-cell results are
+// byte-identical for any -workers value: each cell is a pure function
+// of its scenario spec.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"vmp/internal/experiments"
 	"vmp/internal/fault"
+	"vmp/internal/scenario"
 	"vmp/internal/stats"
 )
 
@@ -46,8 +51,15 @@ func main() {
 		mdOut   = flag.Bool("md", false, "emit EXPERIMENTS.md-style markdown")
 		faults  = flag.String("faults", "", "inject faults into every machine, e.g. abort=0.05,copy=0.02 (empty/none = off)")
 		check   = flag.Bool("check", false, "enable the protocol invariant watchdog on every machine")
+		sweep   = flag.String("sweep", "", "expand and run the scenario.Grid in this JSON file instead of the experiment registry")
+		outFile = flag.String("out", "", "with -sweep: write the machine-readable per-cell results to this JSON file")
 	)
 	flag.Parse()
+
+	if *sweep != "" {
+		runSweep(*sweep, *outFile, *workers)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -102,6 +114,51 @@ func main() {
 			}
 		}
 		fmt.Printf("completed %d experiment(s) in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runSweep expands a scenario grid, runs every cell (workers at a
+// time; results are identical for any worker count), prints a per-cell
+// summary table, and writes the machine-readable artifact when -out is
+// given. Any cell error or invariant violation exits non-zero.
+func runSweep(gridPath, outPath string, workers int) {
+	g, err := scenario.ReadGridFile(gridPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	res, err := scenario.RunGrid(g, scenario.RunOptions{Workers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(1)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("Sweep %s: %d cells", res.Name, len(res.Cells)),
+		"Cell", "Fingerprint", "Sim (ms)", "Refs", "Miss (%)", "Bus (%)", "Retries", "Violations", "Status")
+	for _, c := range res.Cells {
+		status := "ok"
+		if c.Err != "" {
+			status = "ERROR: " + c.Err
+		} else if c.Summary.Violations > 0 {
+			status = "VIOLATIONS"
+		}
+		t.Add(c.Name, c.Fingerprint, float64(c.Summary.SimNs)/1e6, c.Summary.Refs,
+			c.Summary.MissRatioPct, c.Summary.BusUtilPct, c.Summary.Retries, c.Summary.Violations, status)
+	}
+	fmt.Println(t)
+	fmt.Printf("swept %d cell(s) in %v\n", len(res.Cells), time.Since(start).Round(time.Millisecond))
+
+	if outPath != "" {
+		if err := res.WriteJSON(outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "vmpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if n := res.Failures(); n > 0 {
+		fmt.Fprintf(os.Stderr, "vmpbench: %d of %d sweep cells failed\n", n, len(res.Cells))
+		os.Exit(1)
 	}
 }
 

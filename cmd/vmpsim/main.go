@@ -2,12 +2,20 @@
 // ATUM-like traces or a binary trace file and reports per-board, cache
 // and bus statistics — the instrumented-prototype view of the machine.
 //
+// Every run is described by a scenario.Spec: either built from the
+// flags below or loaded with -scenario from a JSON file (in which case
+// the machine/workload flags are ignored). -dump-spec prints the
+// canonical spec for the current flags, which is the easiest way to
+// author a scenario file.
+//
 // Usage:
 //
 //	vmpsim -procs 4 -cache 131072 -page 256 -profile edit -n 200000
 //	vmpsim -procs 2 -trace edit.trc
 //	vmpsim -procs 4 -profile compile -sharekernel
 //	vmpsim -procs 4 -faults abort=0.05,copy=0.02 -check
+//	vmpsim -scenario run.json                # run a scenario file
+//	vmpsim -procs 4 -dump-spec               # print the spec for these flags
 //	vmpsim -procs 4 -trace-out run.json      # Perfetto/chrome://tracing trace
 //	vmpsim -procs 4 -phases -hotpages 10     # phase latencies + hot pages
 //
@@ -23,13 +31,9 @@ import (
 	"time"
 
 	"vmp/internal/bus"
-	"vmp/internal/cache"
-	"vmp/internal/core"
-	"vmp/internal/fault"
 	"vmp/internal/obs"
+	"vmp/internal/scenario"
 	"vmp/internal/stats"
-	"vmp/internal/trace"
-	"vmp/internal/workload"
 )
 
 func main() {
@@ -54,54 +58,66 @@ func main() {
 		dumpOnExit  = flag.Bool("dump-on-exit", false, "dump the flight recorder to stderr when the run ends")
 		hotpages    = flag.Int("hotpages", 0, "print the top-N cache pages by consistency traffic")
 		phases      = flag.Bool("phases", false, "print the per-phase miss-handler latency table")
+		scenarioIn  = flag.String("scenario", "", "run the scenario.Spec in this JSON file (machine/workload flags are ignored)")
+		dumpSpec    = flag.Bool("dump-spec", false, "print the canonical scenario spec and exit without running")
 	)
 	flag.Parse()
 
-	spec, err := fault.Parse(*faults)
-	if err != nil {
-		fatal(err)
-	}
-
-	// The flight recorder (ring buffer, histograms, hot-page stats) is
-	// always on — it is O(1) per event — but the full stream is retained
-	// only when the Perfetto exporter needs it.
-	m, err := core.NewMachine(core.Config{
-		Processors: *procs,
-		Cache:      cache.Geometry(*cacheSize, *pageSize, *assoc),
-		MemorySize: *memSize,
-		FIFODepth:  *fifo,
-		Faults:     spec,
-		FaultSeed:  *seed,
-		Watchdog:   *checkFlag,
-		Obs:        &obs.Config{Stream: *traceOut != ""},
-	})
-	if err != nil {
-		fatal(err)
-	}
-
-	for i := 0; i < *procs; i++ {
-		refs, err := boardTrace(*traceFile, *profile, *seed+uint64(i)*31, *n)
+	var spec *scenario.Spec
+	if *scenarioIn != "" {
+		s, err := scenario.ReadSpecFile(*scenarioIn)
 		if err != nil {
 			fatal(err)
 		}
-		asid := uint8(i + 1)
-		for j := range refs {
-			refs[j].ASID = asid
-			if !*shareKernel && refs[j].VAddr >= workload.KernelCodeBase {
-				refs[j].VAddr += uint32(i) << 24
-			}
+		spec = s
+	} else {
+		spec = &scenario.Spec{
+			Name: "vmpsim",
+			Seed: *seed,
+			Machine: scenario.MachineSpec{
+				Processors: *procs,
+				CacheSize:  *cacheSize,
+				PageSize:   *pageSize,
+				Assoc:      *assoc,
+				MemorySize: *memSize,
+				FIFODepth:  *fifo,
+			},
+			Workload: scenario.WorkloadSpec{
+				Kind:        scenario.WorkloadProfile,
+				Profile:     *profile,
+				Refs:        *n,
+				ShareKernel: *shareKernel,
+				NoPrefault:  !*prefault,
+			},
+			Faults: *faults,
+			Check:  *checkFlag,
 		}
-		if *prefault {
-			if err := m.PrefaultTrace(refs); err != nil {
-				fatal(err)
-			}
-		} else if err := m.EnsureSpace(asid); err != nil {
-			fatal(err)
+		if *traceFile != "" {
+			spec.Workload.Kind = scenario.WorkloadTrace
+			spec.Workload.TraceFile = *traceFile
+			spec.Workload.Profile = ""
 		}
-		m.RunTrace(i, trace.NewSliceSource(refs))
+	}
+	// Output-side flags modify the spec whatever its source: the
+	// Perfetto exporter needs the full event stream retained.
+	if *traceOut != "" {
+		spec.Obs.Stream = true
 	}
 
-	end := m.Run()
+	if *dumpSpec {
+		canon, err := spec.Canonical()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(canon))
+		return
+	}
+
+	res, err := scenario.Run(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	m := res.Machine
 
 	// Write run artifacts before the violation checks so a failing run
 	// still leaves its trace behind for inspection.
@@ -122,16 +138,18 @@ func main() {
 		sink.AutoDump("dump-on-exit requested")
 	}
 
-	if v := m.CheckInvariants(); len(v) != 0 {
+	if len(res.Violations) != 0 {
 		fmt.Fprintln(os.Stderr, "PROTOCOL VIOLATIONS:")
-		for _, s := range v {
+		for _, s := range res.Violations {
 			fmt.Fprintln(os.Stderr, " ", s)
 		}
 		os.Exit(1)
 	}
 
 	em := m.Eng.Metrics()
-	fmt.Printf("simulated %v on %d processor(s); bus utilization %.1f%%\n", end, *procs, 100*m.Bus.Utilization())
+	fmt.Printf("scenario %s (fingerprint %s)\n", res.Spec.Name, res.Fingerprint)
+	fmt.Printf("simulated %v on %d processor(s); bus utilization %.1f%%\n",
+		res.Summary.SimTime(), res.Spec.Machine.Processors, res.Summary.BusUtilPct)
 	fmt.Printf("engine: %d events fired, max queue depth %d, %.3g sim-ns/wall-ms (%v wall)\n\n",
 		em.EventsFired, em.MaxQueueDepth, em.SimNsPerWallMs(m.Eng.Now()), em.Wall.Round(time.Millisecond))
 
@@ -158,7 +176,7 @@ func main() {
 
 	bt := stats.NewTable("Bus transactions", "Type", "Count")
 	bst := m.Bus.Stats()
-	for _, op := range busOps() {
+	for _, op := range bus.Ops() {
 		if c := bst.Transactions[op]; c > 0 {
 			bt.Add(op.String(), c)
 		}
@@ -167,7 +185,7 @@ func main() {
 	bt.Add("bytes moved", bst.BytesMoved)
 	fmt.Println(bt)
 
-	if spec.Enabled() || *checkFlag {
+	if res.Spec.Faults != "" || res.Spec.Check {
 		ft := stats.NewTable("Fault injection & invariant watchdog", "Counter", "Value")
 		for _, mt := range m.Eng.Recorder().Snapshot() {
 			if strings.HasPrefix(mt.Name, "fault/") || strings.HasPrefix(mt.Name, "check/") {
@@ -195,30 +213,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vmpsim: %d protocol violation(s) observed by boards\n", violations)
 		os.Exit(1)
 	}
-}
-
-func busOps() []bus.Op {
-	return []bus.Op{
-		bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.WriteBack,
-		bus.Notify, bus.WriteActionTable, bus.PlainRead, bus.PlainWrite,
-	}
-}
-
-func boardTrace(file, profile string, seed uint64, n int) ([]trace.Ref, error) {
-	if file == "" {
-		return workload.Generate(workload.Profile(profile), seed, n)
-	}
-	f, err := os.Open(file)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br, err := trace.OpenBinary(f)
-	if err != nil {
-		return nil, err
-	}
-	refs := trace.Collect(br, n)
-	return refs, br.Err()
 }
 
 func fatal(err error) {

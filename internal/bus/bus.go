@@ -15,75 +15,34 @@ package bus
 import (
 	"fmt"
 
+	"vmp/internal/busop"
 	"vmp/internal/obs"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 )
 
-// Op is a bus transaction type.
-type Op int
+// Op is a bus transaction type. It is an alias for busop.Op, the shared
+// leaf vocabulary also used by the observability layer to name trace
+// events, so the op-name table exists exactly once.
+type Op = busop.Op
 
-// Transaction types. The first six are the consistency-related
-// operations of Section 3.1; Plain transfers are issued by DMA devices
-// and by CPUs touching device registers, and are invisible to the
-// consistency machinery.
+// Transaction types, re-exported from busop. The first six are the
+// consistency-related operations of Section 3.1; Plain transfers are
+// issued by DMA devices and by CPUs touching device registers, and are
+// invisible to the consistency machinery.
 const (
-	ReadShared       Op = iota // acquire a shared copy of a cache page
-	ReadPrivate                // acquire an exclusive copy of a cache page
-	AssertOwnership            // gain ownership without reading the page
-	WriteBack                  // write a private page back, releasing it
-	Notify                     // notification to interested processors
-	WriteActionTable           // explicit action-table update
-	PlainRead                  // DMA/device read (word or block)
-	PlainWrite                 // DMA/device write (word or block)
+	ReadShared       = busop.ReadShared       // acquire a shared copy of a cache page
+	ReadPrivate      = busop.ReadPrivate      // acquire an exclusive copy of a cache page
+	AssertOwnership  = busop.AssertOwnership  // gain ownership without reading the page
+	WriteBack        = busop.WriteBack        // write a private page back, releasing it
+	Notify           = busop.Notify           // notification to interested processors
+	WriteActionTable = busop.WriteActionTable // explicit action-table update
+	PlainRead        = busop.PlainRead        // DMA/device read (word or block)
+	PlainWrite       = busop.PlainWrite       // DMA/device write (word or block)
 )
 
-// String names the operation.
-func (o Op) String() string {
-	switch o {
-	case ReadShared:
-		return "read-shared"
-	case ReadPrivate:
-		return "read-private"
-	case AssertOwnership:
-		return "assert-ownership"
-	case WriteBack:
-		return "write-back"
-	case Notify:
-		return "notify"
-	case WriteActionTable:
-		return "write-action-table"
-	case PlainRead:
-		return "plain-read"
-	case PlainWrite:
-		return "plain-write"
-	default:
-		return fmt.Sprintf("Op(%d)", int(o))
-	}
-}
-
-// ConsistencyRelated reports whether bus monitors check this operation
-// against their action tables. Notify is special-cased by the monitors
-// themselves (action code 11); WriteActionTable only touches the
-// requester's own table.
-func (o Op) ConsistencyRelated() bool {
-	switch o {
-	case ReadShared, ReadPrivate, AssertOwnership, WriteBack, Notify:
-		return true
-	default:
-		return false
-	}
-}
-
-// Transfers reports whether the operation moves a block of data.
-func (o Op) Transfers() bool {
-	switch o {
-	case ReadShared, ReadPrivate, WriteBack, PlainRead, PlainWrite:
-		return true
-	default:
-		return false
-	}
-}
+// Ops returns every transaction type in declaration order.
+func Ops() []Op { return busop.All() }
 
 // NoRequester marks transactions issued by DMA devices rather than a
 // processor board.
@@ -202,7 +161,7 @@ type Stats struct {
 }
 
 // numOps is the number of distinct transaction types.
-const numOps = int(PlainWrite) + 1
+const numOps = int(busop.NumOps)
 
 // Bus is the shared VMEbus. Create with New. All counters live in the
 // engine's per-run stats.Recorder under "bus/..." names, so a run's

@@ -1,0 +1,80 @@
+// Package busop is the leaf vocabulary of VMEbus transaction types,
+// shared by the bus (which issues them) and the observability layer
+// (which names them in traces). It imports nothing but the standard
+// library, so both sides can depend on it without a cycle: the op-name
+// table lives here once instead of being mirrored and pinned by a test.
+package busop
+
+import "fmt"
+
+// Op is a bus transaction type.
+type Op int
+
+// Transaction types. The first six are the consistency-related
+// operations of Section 3.1; Plain transfers are issued by DMA devices
+// and by CPUs touching device registers, and are invisible to the
+// consistency machinery.
+const (
+	ReadShared       Op = iota // acquire a shared copy of a cache page
+	ReadPrivate                // acquire an exclusive copy of a cache page
+	AssertOwnership            // gain ownership without reading the page
+	WriteBack                  // write a private page back, releasing it
+	Notify                     // notification to interested processors
+	WriteActionTable           // explicit action-table update
+	PlainRead                  // DMA/device read (word or block)
+	PlainWrite                 // DMA/device write (word or block)
+	NumOps                     // number of distinct transaction types
+)
+
+// names is the single op-name table. Adding an Op without extending it
+// is caught at compile time by the array length.
+var names = [NumOps]string{
+	ReadShared:       "read-shared",
+	ReadPrivate:      "read-private",
+	AssertOwnership:  "assert-ownership",
+	WriteBack:        "write-back",
+	Notify:           "notify",
+	WriteActionTable: "write-action-table",
+	PlainRead:        "plain-read",
+	PlainWrite:       "plain-write",
+}
+
+// String names the operation.
+func (o Op) String() string {
+	if o >= 0 && o < NumOps {
+		return names[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ConsistencyRelated reports whether bus monitors check this operation
+// against their action tables. Notify is special-cased by the monitors
+// themselves (action code 11); WriteActionTable only touches the
+// requester's own table.
+func (o Op) ConsistencyRelated() bool {
+	switch o {
+	case ReadShared, ReadPrivate, AssertOwnership, WriteBack, Notify:
+		return true
+	default:
+		return false
+	}
+}
+
+// Transfers reports whether the operation moves a block of data.
+func (o Op) Transfers() bool {
+	switch o {
+	case ReadShared, ReadPrivate, WriteBack, PlainRead, PlainWrite:
+		return true
+	default:
+		return false
+	}
+}
+
+// All returns the transaction types in declaration order.
+func All() []Op {
+	out := make([]Op, NumOps)
+	for i := range out {
+		out[i] = Op(i)
+	}
+	return out
+}

@@ -58,7 +58,51 @@ type Config struct {
 	Retry RetryPolicy
 }
 
-func (c *Config) fillDefaults() {
+// ConfigError is a typed rejection from Config.Validate: which field is
+// invalid and why. Callers (the CLIs, the scenario layer) can test for
+// it with errors.As to distinguish a bad configuration from a runtime
+// failure.
+type ConfigError struct {
+	Field  string // the offending Config field, e.g. "Cache.PageSize"
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Validate rejects unusable machine geometry with typed errors. It is
+// the single validation point shared by NewMachine and the scenario
+// layer; it expects a default-filled config (FillDefaults leaves any
+// explicitly set field untouched), so zero values that mean "use the
+// default" have already been resolved.
+func (c Config) Validate() error {
+	if c.Processors < 1 {
+		return &ConfigError{"Processors", fmt.Sprintf("%d processors; need at least 1", c.Processors)}
+	}
+	if c.Cache.PageSize <= 0 || c.Cache.PageSize&(c.Cache.PageSize-1) != 0 {
+		return &ConfigError{"Cache.PageSize", fmt.Sprintf("page size %d not a positive power of two", c.Cache.PageSize)}
+	}
+	if c.Cache.Rows <= 0 || c.Cache.Rows&(c.Cache.Rows-1) != 0 {
+		return &ConfigError{"Cache.Rows", fmt.Sprintf("rows %d not a positive power of two", c.Cache.Rows)}
+	}
+	if c.Cache.Assoc < 1 {
+		return &ConfigError{"Cache.Assoc", fmt.Sprintf("%d ways; need at least 1", c.Cache.Assoc)}
+	}
+	if c.MemorySize <= 0 {
+		return &ConfigError{"MemorySize", fmt.Sprintf("memory size %d not positive", c.MemorySize)}
+	}
+	if c.MemorySize%vm.PageSize != 0 {
+		return &ConfigError{"MemorySize", fmt.Sprintf("memory size %d not a multiple of the VM page size %d", c.MemorySize, vm.PageSize)}
+	}
+	if c.FIFODepth < 1 {
+		return &ConfigError{"FIFODepth", fmt.Sprintf("FIFO depth %d; need at least 1", c.FIFODepth)}
+	}
+	return nil
+}
+
+func (c *Config) FillDefaults() {
 	if c.Processors <= 0 {
 		c.Processors = 1
 	}
@@ -67,6 +111,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MemorySize == 0 {
 		c.MemorySize = 8 << 20
+	}
+	if c.FIFODepth == 0 {
+		c.FIFODepth = monitor.DefaultFIFODepth
 	}
 	if c.Timing == (Timing{}) {
 		c.Timing = DefaultTiming()
@@ -105,12 +152,9 @@ type Machine struct {
 // NewMachine builds the machine: engine, bus, memory, VM, and one board
 // (cache + monitor + copier) per processor.
 func NewMachine(cfg Config) (*Machine, error) {
-	cfg.fillDefaults()
-	if err := cfg.Cache.Validate(); err != nil {
+	cfg.FillDefaults()
+	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if cfg.MemorySize%vm.PageSize != 0 {
-		return nil, fmt.Errorf("core: memory size %d not a multiple of the VM page size", cfg.MemorySize)
 	}
 	eng := sim.NewEngine()
 	mem := memory.New(cfg.MemorySize, cfg.Cache.PageSize)

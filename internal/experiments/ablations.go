@@ -316,20 +316,16 @@ func AblationReadPrivate(o Options) (*Result, error) {
 // traces, measuring per-processor performance and bus utilization —
 // the Section 5.3 question of how many processors one bus carries.
 func AblationScaling(o Options) (*Result, error) {
-	refsPer := 120_000
-	if o.Quick {
-		refsPer = 25_000
-	}
+	// Processor counts and per-board trace length come from the
+	// experiment's grid.
+	g := scalingGrid(o)
+	refsPer := g.Base.Workload.Refs
 	t := stats.NewTable("Scaling: independent workloads on one bus",
 		"Processors", "Bus Utilization (%)", "Mean Performance", "Relative to 1 CPU")
 	var base float64
-	counts := []int{1, 2, 3, 4, 5, 6, 8}
-	if o.Quick {
-		counts = []int{1, 2, 4, 6}
-	}
 	var xs, ys []float64
-	for _, n := range counts {
-		m, err := o.newMachine(n, 128<<10)
+	for _, n := range g.IntAxis("machine.processors") {
+		m, err := o.newMachine(n, g.Base.Machine.CacheSize)
 		if err != nil {
 			return nil, err
 		}

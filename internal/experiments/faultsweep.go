@@ -10,13 +10,12 @@ import (
 	"vmp/internal/stats"
 )
 
-// faultScenario is one cell of the fault-rate grid.
+// faultScenario is one cell of the fault-rate grid: a human name for
+// the plan plus the "fault/..." counters it must have incremented for
+// the run to count as a real stress (a scenario that injects nothing
+// proves nothing). The plans themselves live in faultSweepGrid.
 type faultScenario struct {
-	name string
-	spec fault.Spec
-	// fired lists the "fault/..." counters this scenario must have
-	// incremented for the run to count as a real stress (a scenario that
-	// injects nothing proves nothing).
+	name  string
 	fired []string
 }
 
@@ -32,31 +31,39 @@ func FaultSweep(o Options) (*Result, error) {
 	if o.Quick {
 		opsPerCPU = 120
 	}
-	const procs = 4
 	const pageSize = 256
 	const pages = 8
 
+	// The fault plans come from the experiment's declarative grid; this
+	// table adds only what a Spec cannot carry — the human name and the
+	// counters each plan must fire.
+	sg := faultSweepGrid(o)
+	procs := sg.Base.Machine.Processors
+	plans := sg.StringAxis("faults")
 	grid := []faultScenario{
-		{name: "none", spec: fault.Spec{}},
-		{name: "aborts", spec: fault.Spec{AbortRate: 0.15},
-			fired: []string{"fault/injected-aborts"}},
-		{name: "xfer-errors", spec: fault.Spec{AbortRate: 0.05, CopyErrRate: 0.1},
-			fired: []string{"fault/transfer-errors"}},
-		{name: "fifo-storms", spec: fault.Spec{FIFOCap: 2, StormRate: 0.25, StormMax: 4},
-			fired: []string{"fault/storm-words"}},
-		{name: "chaos", spec: fault.Spec{AbortRate: 0.1, CopyErrRate: 0.05, FIFOCap: 2, StormRate: 0.15, StormMax: 4, FlipRate: 0.05},
-			fired: []string{"fault/injected-aborts", "fault/transfer-errors", "fault/storm-words", "fault/table-flips"}},
+		{name: "none"},
+		{name: "aborts", fired: []string{"fault/injected-aborts"}},
+		{name: "xfer-errors", fired: []string{"fault/transfer-errors"}},
+		{name: "fifo-storms", fired: []string{"fault/storm-words"}},
+		{name: "chaos", fired: []string{"fault/injected-aborts", "fault/transfer-errors", "fault/storm-words", "fault/table-flips"}},
+	}
+	if len(plans) != len(grid) {
+		return nil, fmt.Errorf("fault-sweep: %d plans in the grid, %d scenario names", len(plans), len(grid))
 	}
 
 	t := stats.NewTable("Protocol survival under injected faults (4 CPUs, shared pages + TAS lock)",
 		"Scenario", "Retries", "WB Retries", "Copier Reissues", "FIFO Recoveries", "Flips Det.", "Starved", "Elapsed (ms)")
 
 	for si, sc := range grid {
+		plan, err := fault.Parse(plans[si])
+		if err != nil {
+			return nil, fmt.Errorf("fault-sweep %q: %w", sc.name, err)
+		}
 		m, err := o.machine(core.Config{
 			Processors: procs,
-			Cache:      cache.Geometry(64<<10, pageSize, 4),
-			MemorySize: 8 << 20,
-			Faults:     &sc.spec,
+			Cache:      cache.Geometry(sg.Base.Machine.CacheSize, pageSize, sg.Base.Machine.Assoc),
+			MemorySize: sg.Base.Machine.MemorySize,
+			Faults:     plan,
 			FaultSeed:  o.Seed + uint64(si)*1031,
 			Watchdog:   true,
 		})

@@ -116,9 +116,11 @@ func measureControlledPerformance(o Options, missRatio float64) (float64, error)
 // miss ratios of a 4-way set-associative cache over the four ATUM-like
 // traces, for cache sizes 64-256 KB and page sizes 128-512 bytes.
 func Figure4(o Options) (*Result, error) {
-	profiles := workload.Profiles()
-	pageSizes := []int{128, 256, 512}
-	cacheSizes := []int{64 << 10, 128 << 10, 256 << 10}
+	// The sweep axes are defined once, in the experiment's grid.
+	g := fig4Grid(o)
+	profiles := g.StringAxis("workload.profile")
+	pageSizes := g.IntAxis("machine.page_size")
+	cacheSizes := g.IntAxis("machine.cache_size")
 
 	t := stats.NewTable("Figure 4: cold-start miss ratio (%), 4-way set associative",
 		"Trace", "Page Size", "64KB", "128KB", "256KB")
@@ -130,12 +132,12 @@ func Figure4(o Options) (*Result, error) {
 	}
 
 	for _, prof := range profiles {
-		refs, err := workload.Generate(prof, o.Seed, o.traceLen())
+		refs, err := workload.Generate(workload.Profile(prof), o.Seed, g.Base.Workload.Refs)
 		if err != nil {
 			return nil, err
 		}
 		for _, ps := range pageSizes {
-			row := []interface{}{string(prof), ps}
+			row := []interface{}{prof, ps}
 			for i, cs := range cacheSizes {
 				st := cache.Simulate(cache.Geometry(cs, ps, 4), trace.NewSliceSource(refs))
 				mr := 100 * st.MissRatio()

@@ -4,7 +4,6 @@ import (
 	"strings"
 	"time"
 
-	"vmp/internal/cache"
 	"vmp/internal/core"
 	"vmp/internal/sim"
 )
@@ -112,11 +111,9 @@ func (o Options) machine(cfg core.Config) (*core.Machine, error) {
 
 // newMachine builds the experiments' standard machine shape: procs
 // processors, a cacheSize-byte cache of 256-byte pages, 4-way, and 8 MB
-// of main memory.
+// of main memory. The shape is defined once, as a scenario.MachineSpec
+// (scenarios.go), so the declarative grids and the imperative runners
+// agree on it.
 func (o Options) newMachine(procs, cacheSize int) (*core.Machine, error) {
-	return o.machine(core.Config{
-		Processors: procs,
-		Cache:      cache.Geometry(cacheSize, 256, 4),
-		MemorySize: 8 << 20,
-	})
+	return o.machine(machineSpec(procs, cacheSize).Config())
 }

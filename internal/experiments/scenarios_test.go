@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"vmp/internal/scenario"
+)
+
+// TestEveryExperimentHasScenario pins the tentpole acceptance
+// criterion: every registered experiment is expressible as a
+// scenario.Grid — the grid exists, expands, and every cell's Spec
+// validates, fingerprints and round-trips through canonical JSON.
+func TestEveryExperimentHasScenario(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			g, ok := Scenario(e.ID, DefaultOptions())
+			if !ok {
+				t.Fatalf("no scenario grid for registered experiment %q", e.ID)
+			}
+			cells, err := g.Expand()
+			if err != nil {
+				t.Fatalf("grid for %q does not expand: %v", e.ID, err)
+			}
+			if len(cells) == 0 {
+				t.Fatalf("grid for %q expanded to zero cells", e.ID)
+			}
+			for _, c := range cells {
+				fp, err := c.Spec.Fingerprint()
+				if err != nil {
+					t.Fatalf("cell %q does not fingerprint: %v", c.Name, err)
+				}
+				canon, err := c.Spec.Canonical()
+				if err != nil {
+					t.Fatalf("cell %q has no canonical form: %v", c.Name, err)
+				}
+				back, err := scenario.ParseSpec(canon)
+				if err != nil {
+					t.Fatalf("cell %q canonical JSON does not parse: %v", c.Name, err)
+				}
+				canon2, err := back.Canonical()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(canon, canon2) {
+					t.Errorf("cell %q canonical form is not a fixed point:\n  %s\n  %s", c.Name, canon, canon2)
+				}
+				fp2, err := back.Fingerprint()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fp != fp2 {
+					t.Errorf("cell %q fingerprint changed across the round trip: %s vs %s", c.Name, fp, fp2)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioMapHasNoStrays checks the grid map names only registered
+// experiments, so the map and the Registry cannot drift apart.
+func TestScenarioMapHasNoStrays(t *testing.T) {
+	for id := range scenarioGrids {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("scenarioGrids entry %q is not a registered experiment", id)
+		}
+	}
+	if _, ok := Scenario("no-such-experiment", DefaultOptions()); ok {
+		t.Error("Scenario returned a grid for an unregistered ID")
+	}
+}
+
+// TestScenarioQuickVariants checks the quick-mode grids also expand.
+func TestScenarioQuickVariants(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	for _, e := range All() {
+		g, ok := Scenario(e.ID, o)
+		if !ok {
+			t.Fatalf("no quick grid for %q", e.ID)
+		}
+		if _, err := g.Expand(); err != nil {
+			t.Errorf("quick grid for %q does not expand: %v", e.ID, err)
+		}
+	}
+}
+
+// TestSweepingExperimentsMatchTheirGrids pins the refactored sweeps to
+// their declarative axes: the values the experiments iterate are the
+// grid's, not a drifted copy.
+func TestSweepingExperimentsMatchTheirGrids(t *testing.T) {
+	o := DefaultOptions()
+	if got := fig4Grid(o).IntAxis("machine.page_size"); len(got) != 3 || got[0] != 128 {
+		t.Errorf("fig4 page sizes = %v", got)
+	}
+	if got := fig4Grid(o).IntAxis("machine.cache_size"); len(got) != 3 || got[2] != 256<<10 {
+		t.Errorf("fig4 cache sizes = %v", got)
+	}
+	if got := scalingGrid(o).IntAxis("machine.processors"); len(got) != 7 || got[6] != 8 {
+		t.Errorf("scaling counts = %v", got)
+	}
+	o.Quick = true
+	if got := scalingGrid(o).IntAxis("machine.processors"); len(got) != 4 || got[3] != 6 {
+		t.Errorf("quick scaling counts = %v", got)
+	}
+	plans := faultSweepGrid(o).StringAxis("faults")
+	if len(plans) != 5 || plans[0] != "none" {
+		t.Errorf("fault plans = %v", plans)
+	}
+}

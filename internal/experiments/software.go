@@ -150,16 +150,18 @@ func AblationPageContention(o Options) (*Result, error) {
 	if o.Quick {
 		rounds = 40
 	}
-	const procs = 4
+	// Machine shape and swept page sizes come from the experiment's grid.
+	g := pageContentionGrid(o)
+	procs := g.Base.Machine.Processors
 	t := stats.NewTable("False sharing vs page size",
 		"Scheme", "Page/Line", "Elapsed (µs)", "Bus KB", "Invalidations+Downgrades")
 
-	for _, ps := range []int{128, 256, 512} {
+	for _, ps := range g.IntAxis("machine.page_size") {
 		streams := workload.FalseSharing(procs, 0x40000, ps, rounds)
 		m, err := o.machine(core.Config{
 			Processors: procs,
-			Cache:      cache.Geometry(64<<10, ps, 4),
-			MemorySize: 8 << 20,
+			Cache:      cache.Geometry(g.Base.Machine.CacheSize, ps, g.Base.Machine.Assoc),
+			MemorySize: g.Base.Machine.MemorySize,
 		})
 		if err != nil {
 			return nil, err
@@ -206,16 +208,20 @@ func AblationPageContention(o Options) (*Result, error) {
 // ratio of the four traces at a fixed 128 KB / 256 B geometry with 1, 2
 // and 4 ways.
 func AblationAssociativity(o Options) (*Result, error) {
+	// Profiles and way counts come from the experiment's grid.
+	g := assocGrid(o)
+	cacheSize := g.Base.Machine.CacheSize
+	pageSize := g.Base.Machine.PageSize
 	t := stats.NewTable("Associativity sweep (128 KB cache, 256 B pages)",
 		"Trace", "1-way (%)", "2-way (%)", "4-way (%)")
-	for _, prof := range workload.Profiles() {
-		refs, err := workload.Generate(prof, o.Seed, o.traceLen())
+	for _, prof := range g.StringAxis("workload.profile") {
+		refs, err := workload.Generate(workload.Profile(prof), o.Seed, g.Base.Workload.Refs)
 		if err != nil {
 			return nil, err
 		}
-		row := []interface{}{string(prof)}
-		for _, assoc := range []int{1, 2, 4} {
-			st := cache.Simulate(cache.Geometry(128<<10, 256, assoc), trace.NewSliceSource(refs))
+		row := []interface{}{prof}
+		for _, assoc := range g.IntAxis("machine.assoc") {
+			st := cache.Simulate(cache.Geometry(cacheSize, pageSize, assoc), trace.NewSliceSource(refs))
 			row = append(row, 100*st.MissRatio())
 		}
 		t.Add(row...)

@@ -43,6 +43,7 @@ import (
 	"sort"
 	"strings"
 
+	"vmp/internal/busop"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 )
@@ -162,21 +163,16 @@ type Event struct {
 	Flags uint8
 }
 
-// busOpName mirrors bus.Op.String() for the ops the bus emits as Arg
-// values. obs cannot import the bus package (the bus imports obs), so
-// the correspondence is pinned by TestArgNamesMatchBusOps in
-// internal/core.
-var busOpName = [...]string{
-	"read-shared", "read-private", "assert-ownership", "write-back",
-	"notify", "write-action-table", "plain-read", "plain-write",
-}
-
-// ArgName renders an event's Arg for the given kind.
+// ArgName renders an event's Arg for the given kind. Bus-op names come
+// from the shared busop leaf package (obs cannot import the bus package
+// — the bus imports obs — but both import busop, so the name table
+// exists once and agreement is a compile-time property instead of a
+// pinned test).
 func ArgName(k Kind, arg uint8) string {
 	switch k {
 	case KindBus, KindIntr, KindCopy:
-		if int(arg) < len(busOpName) {
-			return busOpName[arg]
+		if int(arg) < int(busop.NumOps) {
+			return busop.Op(arg).String()
 		}
 		return fmt.Sprintf("op(%d)", arg)
 	case KindPhase:

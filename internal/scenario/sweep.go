@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// RunOptions tunes grid execution, not its results: Workers only
+// changes wall-clock, never a cell's summary.
+type RunOptions struct {
+	// Workers is the number of cells simulated concurrently; values < 1
+	// mean serial.
+	Workers int
+	// Progress, when non-nil, receives each cell's name as it completes
+	// (called from worker goroutines, completion order).
+	Progress func(name string)
+}
+
+// CellResult is one grid point's machine-readable outcome —
+// BENCH_*.json-compatible: a name, the exact spec that ran, its
+// fingerprint, and the summary.
+type CellResult struct {
+	Name        string  `json:"name"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Spec        Spec    `json:"spec"`
+	Summary     Summary `json:"summary"`
+	// Violations carries invariant-checker reports verbatim.
+	Violations []string `json:"violations,omitempty"`
+	// Err is set when the cell failed to run at all.
+	Err string `json:"error,omitempty"`
+}
+
+// SweepResult is the artifact a grid run emits.
+type SweepResult struct {
+	Name  string       `json:"name,omitempty"`
+	Cells []CellResult `json:"cells"`
+}
+
+// RunGrid expands the grid and runs every cell, Workers at a time.
+// Cell results are returned in expansion order regardless of worker
+// count; since each cell's summary is a pure function of its spec, the
+// returned SweepResult is byte-identical for any Workers value.
+func RunGrid(g *Grid, opts RunOptions) (*SweepResult, error) {
+	cells, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Name: g.Name, Cells: make([]CellResult, len(cells))}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				cr := CellResult{Name: cells[i].Name, Spec: cells[i].Spec}
+				rr, err := Run(cells[i].Spec)
+				if err != nil {
+					cr.Err = err.Error()
+				} else {
+					cr.Fingerprint = rr.Fingerprint
+					cr.Spec = rr.Spec
+					cr.Summary = rr.Summary
+					cr.Violations = rr.Violations
+				}
+				res.Cells[i] = cr
+				if opts.Progress != nil {
+					opts.Progress(cr.Name)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// Failures counts cells that errored or reported violations.
+func (r *SweepResult) Failures() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.Err != "" || c.Summary.Violations > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// readSweepFile parses a sweep artifact back (used by tests).
+func readSweepFile(path string) (*SweepResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r SweepResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteJSON writes the sweep artifact, indented, to path.
+func (r *SweepResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing sweep results: %w", err)
+	}
+	return nil
+}

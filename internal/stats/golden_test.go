@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/stats -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from its golden file.\n--- got ---\n%s--- want ---\n%s"+
+			"(if the change is intentional, regenerate with `go test ./internal/stats -update`)",
+			name, got, want)
+	}
+}
+
+// goldenTable exercises every Table feature: title, mixed cell types,
+// float trimming, ragged row protection and the note line.
+func goldenTable() *Table {
+	t := NewTable("Miss cost by page size", "Page Size", "Elapsed (µs)", "Bus (µs)", "Clean", "Ratio")
+	t.Add(128, 17.0, 4.4, true, 0.2588)
+	t.Add(256, 21.29, 8.316, false, 0.39)
+	t.Add(512, 30.5, 16.0, true, 0.5245901639344262)
+	t.Add("all", 68.79, 28.716, "-", 1.0)
+	t.Note = "columns mirror Table 1; ratios are bus/elapsed"
+	return t
+}
+
+func TestTableGoldenString(t *testing.T) {
+	checkGolden(t, "table_string", goldenTable().String())
+}
+
+func TestTableGoldenCSV(t *testing.T) {
+	checkGolden(t, "table_csv", goldenTable().CSV())
+}
+
+// goldenPlot exercises multi-series rendering, line interpolation,
+// single-point series, axis labels and the legend.
+func goldenPlot() *Plot {
+	var p Plot
+	p.Title = "performance vs miss ratio"
+	p.XLabel = "miss ratio (%)"
+	p.YLabel = "normalized performance"
+	p.Add("128B", []float64{0, 0.5, 1, 1.5, 2}, []float64{1, 0.93, 0.87, 0.82, 0.77})
+	p.Add("256B", []float64{0, 0.5, 1, 1.5, 2}, []float64{1, 0.90, 0.82, 0.75, 0.69})
+	p.Add("512B", []float64{0, 0.5, 1, 1.5, 2}, []float64{1, 0.86, 0.75, 0.66, 0.59})
+	p.Add("measured", []float64{0.24}, []float64{0.87})
+	return &p
+}
+
+func TestPlotGoldenString(t *testing.T) {
+	checkGolden(t, "plot_string", goldenPlot().String())
+}
+
+// TestPlotGoldenEmpty pins the no-data degenerate form.
+func TestPlotGoldenEmpty(t *testing.T) {
+	p := Plot{Title: "empty"}
+	checkGolden(t, "plot_empty", p.String())
+}
+
+// TestPlotGoldenFlat pins the constant-series path (min == max on both
+// axes triggers the synthetic range widening).
+func TestPlotGoldenFlat(t *testing.T) {
+	var p Plot
+	p.Title = "flat"
+	p.Width = 24
+	p.Height = 6
+	p.Add("const", []float64{1, 1, 1}, []float64{5, 5, 5})
+	checkGolden(t, "plot_flat", p.String())
+}
