@@ -1,0 +1,92 @@
+// Command vmplint runs the repository's determinism and discipline
+// analyzers (internal/lint) over Go packages and fails on any
+// unsuppressed diagnostic. Run it from the module root:
+//
+//	go run ./cmd/vmplint ./...
+//
+// A diagnostic is suppressed by an adjacent comment
+//
+//	//vmplint:allow <rule> <reason>
+//
+// with a mandatory reason; reasonless and stale suppressions are
+// themselves diagnostics. Exit status: 0 clean, 1 findings, 2 usage or
+// load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmp/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and the invariant each guards")
+	rules := flag.String("rules", "", "comma-separated rule subset to run (default: all; suppression auditing needs all)")
+	suppressed := flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmplint [flags] [packages]\n\n"+
+			"Runs the repo's determinism/discipline analyzers over the given\n"+
+			"package patterns (default ./...; run from the module root).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *rules != "" {
+		var err error
+		analyzers, err = lint.ByName(*rules)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmplint:", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	failed := false
+	nSuppressed := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			nSuppressed++
+			if *suppressed {
+				fmt.Println(f)
+			}
+			continue
+		}
+		failed = true
+		fmt.Println(f)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "vmplint: findings above; fix them or add //vmplint:allow <rule> <reason> where the code is right")
+		os.Exit(1)
+	}
+	fmt.Printf("vmplint: %d package(s) clean (%d suppression(s) in effect)\n", len(pkgs), nSuppressed)
+}

@@ -111,11 +111,14 @@ type Injector interface {
 
 // Timing holds the bus timing constants (Figure 2 and Section 2).
 type Timing struct {
-	ArbAddr      sim.Time // arbitration + address cycle
-	FirstWord    sim.Time // first longword of a block transfer
-	NextWord     sim.Time // subsequent longwords
-	CheckWindow  sim.Time // consistency check interval (overlapped)
-	UpdateWindow sim.Time // action table update interval (overlapped)
+	// The json tags pin the wire names scenario canonical JSON has
+	// always used (the Go field names), so a rename cannot silently
+	// change scenario fingerprints; see vmplint's canonjson rule.
+	ArbAddr      sim.Time `json:"ArbAddr"`      // arbitration + address cycle
+	FirstWord    sim.Time `json:"FirstWord"`    // first longword of a block transfer
+	NextWord     sim.Time `json:"NextWord"`     // subsequent longwords
+	CheckWindow  sim.Time `json:"CheckWindow"`  // consistency check interval (overlapped)
+	UpdateWindow sim.Time `json:"UpdateWindow"` // action table update interval (overlapped)
 }
 
 // DefaultTiming matches the prototype: 40 MB/s block transfer on the

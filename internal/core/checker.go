@@ -107,7 +107,15 @@ func (c *checker) quiescentCheck() []string {
 		if gf.owner == -1 {
 			continue
 		}
+		// Sort the sharer set: violation strings feed run output and the
+		// serial==parallel diffs, so their order must not depend on map
+		// iteration (found by vmplint maporder).
+		sharers := make([]int, 0, len(gf.sharers))
 		for s := range gf.sharers {
+			sharers = append(sharers, s)
+		}
+		sort.Ints(sharers)
+		for _, s := range sharers {
 			if s != gf.owner {
 				out = append(out, fmt.Sprintf("frame %d owned by board %d but shared by board %d", f, gf.owner, s))
 			}

@@ -203,6 +203,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 			// recorded, while the events leading up to it are still in the
 			// ring (AutoDump is once-only; later violations are no-ops).
 			m.watch.SetViolationHook(func(msg string) {
+				//vmplint:allow nilsink hook is installed only under the enclosing `m.sink != nil` and the sink is immutable after construction
 				m.sink.Emit(obs.Event{Time: m.sink.Now(), Kind: obs.KindViolation})
 				m.sink.AutoDump("protocol violation: " + msg)
 			})

@@ -15,22 +15,28 @@ import "vmp/internal/sim"
 type Timing struct {
 	// InstrTime is the average instruction execution time: ~7 clocks at
 	// 60 ns (MacGregor), i.e. 2.4 MIPS.
-	InstrTime sim.Time
+	//
+	// The json tags on this struct (and on HandlerTiming and
+	// RetryPolicy) pin the wire names the scenario layer's canonical
+	// JSON has always used — the Go field names. They exist so that a
+	// field rename cannot silently change scenario fingerprints; see
+	// vmplint's canonjson rule.
+	InstrTime sim.Time `json:"InstrTime"`
 	// RefsPerInstr is the average number of 4-byte memory references
 	// per instruction, including instruction fetch. 1.22 is calibrated
 	// from the paper's worked example (miss ratio 0.24% -> 87%
 	// performance).
-	RefsPerInstr float64
+	RefsPerInstr float64 `json:"RefsPerInstr"`
 
-	Handler HandlerTiming
+	Handler HandlerTiming `json:"Handler"`
 
 	// PageFault is the operating-system service time for a demand-zero
 	// page fault (not part of the paper's Table 1; misses in the
 	// steady-state experiments never fault).
-	PageFault sim.Time
+	PageFault sim.Time `json:"PageFault"`
 	// UncachedAccess is the processor-side cost of one uncached global
 	// memory word access beyond the bus transaction itself.
-	UncachedAccess sim.Time
+	UncachedAccess sim.Time `json:"UncachedAccess"`
 }
 
 // HandlerTiming breaks the software miss handler into phases. The sum
@@ -39,30 +45,30 @@ type Timing struct {
 // overlaps the fill transfer, reproducing Table 1's overlap structure.
 type HandlerTiming struct {
 	// TrapEntry: exception stacking, vectoring, handler prologue.
-	TrapEntry sim.Time
+	TrapEntry sim.Time `json:"TrapEntry"`
 	// VictimSelect: reading the suggested slot, checking its state.
-	VictimSelect sim.Time
+	VictimSelect sim.Time `json:"VictimSelect"`
 	// BookkeepWB: page-map updates that the handler performs while a
 	// victim write-back streams (executed unconditionally; the overlap
 	// only matters when there is a write-back).
-	BookkeepWB sim.Time
+	BookkeepWB sim.Time `json:"BookkeepWB"`
 	// Translate: the software table walk when the page-table entry hits
 	// in the cache (a PT miss costs a full nested miss on top).
-	Translate sim.Time
+	Translate sim.Time `json:"Translate"`
 	// BookkeepRead: cache-content bookkeeping overlapped with the fill
 	// transfer.
-	BookkeepRead sim.Time
+	BookkeepRead sim.Time `json:"BookkeepRead"`
 	// Epilogue: restoring state and returning from the exception.
-	Epilogue sim.Time
+	Epilogue sim.Time `json:"Epilogue"`
 	// Retry: extra cost of re-trapping when a fill was aborted by an
 	// ownership conflict and the instruction retries.
-	Retry sim.Time
+	Retry sim.Time `json:"Retry"`
 	// Interrupt: fixed cost of taking one bus-monitor interrupt and
 	// dispatching on the FIFO word, before any per-page work.
-	Interrupt sim.Time
+	Interrupt sim.Time `json:"Interrupt"`
 	// RecoveryPerPage: per-shared-page cost of the FIFO overflow
 	// recovery sweep.
-	RecoveryPerPage sim.Time
+	RecoveryPerPage sim.Time `json:"RecoveryPerPage"`
 }
 
 // Total returns the non-overlapped software cost of a straightforward
@@ -107,13 +113,13 @@ func (t Timing) RefTime() sim.Time {
 type RetryPolicy struct {
 	// BackoffShiftCap caps the exponential backoff: the delay of attempt
 	// n is the base retry delay shifted left by min(n, cap).
-	BackoffShiftCap int
+	BackoffShiftCap int `json:"BackoffShiftCap"`
 	// StarveThreshold is the consecutive-retry count at which one
 	// starvation event is recorded (check/starvation-events).
-	StarveThreshold int
+	StarveThreshold int `json:"StarveThreshold"`
 	// HardLimit is the consecutive-retry count treated as a livelock:
 	// reaching it panics. Far above anything a surviving run produces.
-	HardLimit int
+	HardLimit int `json:"HardLimit"`
 }
 
 // DefaultRetryPolicy returns the calibrated limits.

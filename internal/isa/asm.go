@@ -386,6 +386,7 @@ func (a *assembler) twoRegs(args []string) (uint8, uint8, error) {
 	return r1, r2, firstErr(err1, err2)
 }
 
+//vmplint:allow ambientstate read-only register-alias lookup table; nothing mutates it, and Go has no const maps
 var regAliases = map[string]uint8{"zero": 0, "ra": 14, "sp": 15}
 
 func (a *assembler) reg(s string) (uint8, error) {

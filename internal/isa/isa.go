@@ -63,6 +63,7 @@ const (
 	numOps
 )
 
+//vmplint:allow ambientstate read-only opcode-name table; nothing mutates it, and Go has no const arrays
 var opNames = [numOps]string{
 	"nop", "halt",
 	"add", "sub", "and", "or", "xor", "sll", "srl", "slt", "mul", "div", "rem",

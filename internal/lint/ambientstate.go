@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AmbientState forbids new package-level variables in the
+// simulation-core packages. PR 1 removed the ambient counters by
+// threading a per-run stats.Recorder through engine→bus→cache→core;
+// any package-level mutable state reintroduces cross-run coupling —
+// two runs sharing a counter, a cache, or a table can observe each
+// other, which breaks both the parallel run layer and the fingerprint
+// ⇒ identical-results contract. Read-only lookup tables that are
+// impractical as consts (e.g. name maps) carry a //vmplint:allow
+// annotation stating that nothing mutates them.
+var AmbientState = &Analyzer{
+	Name: "ambientstate",
+	Doc: "forbid package-level variables in simulation-core packages; per-run state must be " +
+		"threaded through the run (Machine, Recorder, Sink)",
+	Match: isSimCore,
+	Run:   runAmbientState,
+}
+
+func runAmbientState(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue // interface-satisfaction assertions
+					}
+					pass.Reportf(name.Pos(),
+						"package-level variable %s is ambient state in a simulation-core package; thread per-run state through the run or annotate why this is immutable",
+						name.Name)
+				}
+			}
+		}
+	}
+}

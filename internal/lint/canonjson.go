@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// CanonJSON guards the canonical-JSON fingerprint contract of the
+// scenario package: equal fingerprints must imply byte-identical runs,
+// which holds only if every field that reaches the canonical encoding
+// has an explicit, stable wire name. The rule has three parts: (1)
+// every exported field of an exported struct declared in
+// internal/scenario must carry a json tag; (2) every struct type
+// reachable from those structs' fields — including types in other
+// packages, like core.Timing — must have fully tagged exported fields,
+// so a rename elsewhere cannot silently change the canonical bytes;
+// (3) no raw map[string]any outside the canonicalization path, because
+// an untyped document bypasses DisallowUnknownFields and tag checking
+// (the sanctioned dotted-path overlay sites in grid.go are annotated).
+var CanonJSON = &Analyzer{
+	Name: "canonjson",
+	Doc: "require json tags on every field reachable from scenario Spec structs and forbid raw " +
+		"map[string]any outside the canonicalization path; the fingerprint contract must not drift",
+	Match: func(pkgPath string) bool { return pkgPath == "vmp/internal/scenario" },
+	Run:   runCanonJSON,
+}
+
+func runCanonJSON(pass *Pass) {
+	reported := make(map[*types.Named]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStructDecl(pass, ts.Name.Name, st, reported)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		checkRawMaps(pass, file)
+	}
+}
+
+// checkStructDecl enforces tags on one declared struct and follows its
+// field types into reachable structs.
+func checkStructDecl(pass *Pass, structName string, st *ast.StructType, reported map[*types.Named]bool) {
+	for _, field := range st.Fields.List {
+		exported := false
+		fieldName := ""
+		if len(field.Names) == 0 {
+			// Embedded field: named after its type.
+			if id := embeddedName(field.Type); id != nil {
+				exported = id.IsExported()
+				fieldName = id.Name
+			}
+		} else {
+			for _, n := range field.Names {
+				if n.IsExported() {
+					exported = true
+					fieldName = n.Name
+				}
+			}
+		}
+		if exported && !hasJSONTag(field) {
+			pass.Reportf(field.Pos(),
+				"exported field %s.%s has no json tag; canonical-JSON wire names must be explicit so the fingerprint cannot drift",
+				structName, fieldName)
+		}
+		// Follow the field type into reachable structs (other
+		// packages, unexported local structs) and demand tags there
+		// too: their fields are part of the canonical encoding.
+		// Fields json omits — unexported ones and `json:"-"` — are not
+		// on the wire and are not followed.
+		if exported && jsonTagOf(field) != "-" {
+			if tv, ok := pass.Info.Types[field.Type]; ok {
+				checkReachable(pass, field, tv.Type, reported)
+			}
+		}
+	}
+}
+
+// embeddedName extracts the name identifier of an embedded field type.
+func embeddedName(t ast.Expr) *ast.Ident {
+	switch t := unparen(t).(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+// hasJSONTag reports whether the field carries a non-empty json tag
+// (`json:"-"` counts: it is an explicit wire decision).
+func hasJSONTag(field *ast.Field) bool {
+	return jsonTagOf(field) != ""
+}
+
+// jsonTagOf returns the first element of the field's json tag ("" when
+// absent).
+func jsonTagOf(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return ""
+	}
+	tag := reflect.StructTag(raw).Get("json")
+	name, _, _ := strings.Cut(tag, ",")
+	if name == "" && tag != "" {
+		return tag
+	}
+	return name
+}
+
+// checkReachable walks t for named struct types and reports any with
+// untagged exported fields, anchored at the scenario field that
+// reaches them. Types outside the module and types with their own
+// marshalers are skipped: their wire format is not this package's
+// contract.
+func checkReachable(pass *Pass, at *ast.Field, t types.Type, reported map[*types.Named]bool) {
+	switch tt := t.(type) {
+	case *types.Pointer:
+		checkReachable(pass, at, tt.Elem(), reported)
+	case *types.Slice:
+		checkReachable(pass, at, tt.Elem(), reported)
+	case *types.Array:
+		checkReachable(pass, at, tt.Elem(), reported)
+	case *types.Map:
+		checkReachable(pass, at, tt.Elem(), reported)
+	case *types.Alias:
+		checkReachable(pass, at, types.Unalias(tt), reported)
+	case *types.Named:
+		st, ok := tt.Underlying().(*types.Struct)
+		if !ok || reported[tt] {
+			return
+		}
+		reported[tt] = true
+		obj := tt.Obj()
+		if obj.Pkg() == nil || !inModule(obj.Pkg().Path()) || hasMarshaler(tt) {
+			return
+		}
+		// Exported structs declared in this package are checked (with
+		// better positions) by checkStructDecl.
+		local := obj.Pkg().Path() == pass.Pkg.Path() && obj.Exported()
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			tag := reflect.StructTag(st.Tag(i)).Get("json")
+			if name, _, _ := strings.Cut(tag, ","); name == "-" {
+				continue // explicitly off the wire; not followed
+			}
+			if !local && tag == "" {
+				pass.Reportf(at.Pos(),
+					"field reaches %s.%s.%s which has no json tag; every struct in the canonical encoding needs explicit wire names",
+					obj.Pkg().Path(), obj.Name(), f.Name())
+			}
+			checkReachable(pass, at, f.Type(), reported)
+		}
+	}
+}
+
+// inModule reports whether pkgPath belongs to this repository.
+func inModule(pkgPath string) bool {
+	return pkgPath == "vmp" || strings.HasPrefix(pkgPath, "vmp/")
+}
+
+// hasMarshaler reports whether t or *t provides its own MarshalJSON or
+// MarshalText, taking its wire format out of the struct-tag contract.
+func hasMarshaler(t types.Type) bool {
+	for _, name := range []string{"MarshalJSON", "MarshalText"} {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, name)
+		if _, ok := obj.(*types.Func); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRawMaps flags map[string]any type expressions: untyped
+// documents bypass DisallowUnknownFields and the tag rules above, so
+// outside the annotated canonicalization sites they are forbidden.
+func checkRawMaps(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		mt, ok := n.(*ast.MapType)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[mt]
+		if !ok {
+			return true
+		}
+		m, ok := tv.Type.(*types.Map)
+		if !ok {
+			return true
+		}
+		key, ok := m.Key().Underlying().(*types.Basic)
+		if !ok || key.Kind() != types.String {
+			return true
+		}
+		if iface, ok := m.Elem().Underlying().(*types.Interface); ok && iface.Empty() {
+			pass.Reportf(mt.Pos(),
+				"raw map[string]any bypasses the tagged-struct canonical-JSON contract; keep untyped documents inside the canonicalization path")
+		}
+		return true
+	})
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader typechecks packages without golang.org/x/tools: it resolves
+// package file lists and dependency export data through `go list
+// -export` and feeds the export files to the standard library's gc
+// importer, so every import — stdlib or in-module — is satisfied from
+// the build cache while the target package itself is parsed from
+// source with full position and comment information.
+type Loader struct {
+	fset    *token.FileSet
+	imp     types.ImporterFrom
+	exports map[string]string // import path -> export data file
+	targets []listPkg         // module packages named by the patterns, in go list order
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// NewLoader lists patterns (plus their transitive dependencies) in the
+// module rooted at dir. Extra stdlib patterns may be appended so that
+// fixture packages can import them even when the module itself does
+// not.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			l.targets = append(l.targets, p)
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l, nil
+}
+
+// lookup feeds dependency export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("vmplint: no export data for import %q", path)
+	}
+	return os.Open(f)
+}
+
+// Load typechecks every module package named by the loader's patterns,
+// in `go list` order (dependencies first).
+func (l *Loader) Load() ([]*Package, error) {
+	out := make([]*Package, 0, len(l.targets))
+	for _, t := range l.targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckDir typechecks a directory of Go files under a caller-chosen
+// import path — the fixture loader used by the analyzer tests, where
+// the pretend path decides which analyzers apply.
+func (l *Loader) CheckDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("vmplint: no Go files in %s", dir)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses and typechecks one package from source.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vmplint: typechecking %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}

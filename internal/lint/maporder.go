@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MapOrder flags `for range` over a map whose body has order-dependent
+// effects: appending to a slice that is never sorted afterwards,
+// writing output (fmt printing, io/strings/bytes writers, stats.Table
+// rows), emitting an obs event, or accumulating into a floating-point
+// variable. Go randomizes map iteration order per run, so any of these
+// effects makes two identical runs produce different bytes — the #1
+// threat to the serial==parallel byte-identity contract. Commutative
+// bodies (counting, integer sums, building another map, deletes) pass;
+// the collect-keys-then-sort idiom passes because the appended slice is
+// sorted before it is observed.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration with order-dependent effects (unsorted appends, output writes, " +
+		"obs emission, float accumulation); map order is randomized per run",
+	Run: runMapOrder,
+}
+
+// effect is one order-dependent action found in a map-range body.
+type effect struct {
+	pos  token.Pos
+	kind string
+	// appendTarget is the rendering of the appended-to expression, set
+	// for kind "append" so the sorted-afterwards mitigation can match
+	// it.
+	appendTarget string
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+				return true
+			}
+			effects := mapRangeEffects(pass, rs)
+			if len(effects) == 0 {
+				return true
+			}
+			funcBody, _ := enclosingFunc(append(stack, n))
+			var kinds []string
+			seen := make(map[string]bool)
+			flagged := false
+			for _, e := range effects {
+				if e.kind == "append" && sortedAfter(pass, funcBody, rs, e.appendTarget) {
+					continue
+				}
+				flagged = true
+				desc := e.kind
+				if e.kind == "append" {
+					desc = fmt.Sprintf("append to %s never sorted afterwards", e.appendTarget)
+				}
+				if !seen[desc] {
+					seen[desc] = true
+					kinds = append(kinds, desc)
+				}
+			}
+			if flagged {
+				sort.Strings(kinds)
+				pass.Reportf(rs.For, "map iteration order is randomized but the body has order-dependent effects (%s); iterate sorted keys or sort before the result is observed",
+					strings.Join(kinds, "; "))
+			}
+			return true
+		})
+	}
+}
+
+// mapRangeEffects collects the order-dependent effects inside one
+// map-range body.
+func mapRangeEffects(pass *Pass, rs *ast.RangeStmt) []effect {
+	var out []effect
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			out = append(out, assignEffects(pass, rs, n)...)
+		case *ast.CallExpr:
+			if kind := outputCallKind(pass, n); kind != "" {
+				out = append(out, effect{pos: n.Pos(), kind: kind})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// assignEffects classifies one assignment inside a map-range body:
+// slice appends and floating-point accumulation into variables that
+// outlive the loop.
+func assignEffects(pass *Pass, rs *ast.RangeStmt, a *ast.AssignStmt) []effect {
+	var out []effect
+	// x = append(x, ...) — order-dependent unless sorted afterwards.
+	for i, rhs := range a.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(a.Lhs) {
+			continue
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+				out = append(out, effect{pos: call.Pos(), kind: "append",
+					appendTarget: types.ExprString(a.Lhs[i])})
+			}
+		}
+	}
+	// total += v on a float declared outside the loop: float addition
+	// is not associative, so the accumulated bits depend on visit
+	// order even though the set of addends is fixed.
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := unparen(a.Lhs[0])
+		tv, ok := pass.Info.Types[lhs]
+		if !ok {
+			break
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+			break
+		}
+		if declaredOutside(pass, lhs, rs) {
+			out = append(out, effect{pos: a.Pos(),
+				kind: "floating-point accumulation into " + types.ExprString(lhs)})
+		}
+	}
+	return out
+}
+
+// declaredOutside reports whether the assigned expression refers to
+// storage declared outside the range statement (an identifier whose
+// declaration is lexically outside, or any field/index expression).
+func declaredOutside(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return true // selector or index: storage outlives the loop body
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// outputCallKind classifies a call as an output write or obs emission,
+// returning a description or "".
+func outputCallKind(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			switch fn.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "write to output via fmt." + fn.Name()
+			}
+		case "io":
+			if fn.Name() == "WriteString" {
+				return "write to output via io.WriteString"
+			}
+		}
+		return ""
+	}
+	recv := sig.Recv().Type()
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "write to " + types.TypeString(recv, types.RelativeTo(pass.Pkg))
+	case "Add":
+		if isNamed(recv, "vmp/internal/stats", "Table") {
+			return "stats.Table row emission (rows render in insertion order)"
+		}
+	case "Emit":
+		if isNamed(recv, "vmp/internal/obs", "Sink") {
+			return "obs event emission (the event stream must be byte-identical across runs)"
+		}
+	}
+	return ""
+}
+
+// sortFuncs are the sort entry points recognized by the
+// sorted-afterwards mitigation, keyed by package path then name.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether the enclosing function sorts target
+// after the range statement — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, target string) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return !found
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+			return true
+		}
+		if names, ok := sortFuncs[fn.Pkg().Path()]; ok && names[fn.Name()] {
+			if types.ExprString(call.Args[0]) == target {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,56 @@
+package lint
+
+// Run executes the given analyzers over the loaded packages, resolves
+// //vmplint:allow suppressions, audits the annotations themselves, and
+// returns every finding sorted by position. Suppressed findings are
+// included with Suppressed set so callers can render or count them.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	fullSuite := len(analyzers) == len(All())
+	for _, pkg := range pkgs {
+		idx := parseSuppressions(pkg.Fset, pkg.Files)
+		ran := make(map[string]bool)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			ran[a.Name] = true
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				f := Finding{Pos: pkg.Fset.Position(d.pos), Rule: d.rule, Message: d.message}
+				if s := idx.match(d.rule, f.Pos); s != nil {
+					f.Suppressed = true
+					f.Reason = s.reason
+				}
+				out = append(out, f)
+			}
+		}
+		// Only a full-suite run can tell that an annotation is stale;
+		// a partial run would misreport suppressions belonging to the
+		// rules that did not run.
+		if fullSuite {
+			out = append(out, idx.audit(ran)...)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// Unsuppressed filters findings down to the ones that fail a vmplint
+// run.
+func Unsuppressed(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

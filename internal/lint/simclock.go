@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// SimClock forbids ambient nondeterminism — wall clocks, the global
+// math/rand source, and the process environment — inside the
+// simulation-core packages. Everything a run observes must derive from
+// its Spec (geometry, workload, seed): that is what makes equal
+// fingerprints imply byte-identical results. The only sanctioned
+// exceptions are wall-clock *measurement* sites (engine metrics), and
+// those carry a //vmplint:allow simclock annotation explaining that the
+// value never feeds simulated state.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "forbid time.Now/math/rand global source/os.Getenv in simulation-core packages; " +
+		"simulated behavior must derive from the Spec alone",
+	Match: isSimCore,
+	Run:   runSimClock,
+}
+
+// forbiddenTimeFuncs are the wall-clock and timer entry points of
+// package time. Types and constants (time.Duration, time.Millisecond)
+// remain free to use.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// forbiddenOSFuncs are the process-environment reads: a simulation
+// whose behavior depends on an environment variable is not reproducible
+// from its Spec.
+var forbiddenOSFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that build an
+// explicitly seeded generator — the deterministic idiom the repo uses
+// everywhere. Every other function in math/rand and math/rand/v2
+// draws from the shared global source and is forbidden.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSimClock(pass *Pass) {
+	type use struct {
+		pos     int // token.Pos as int for sorting
+		pkg     string
+		name    string
+		problem string
+	}
+	var uses []use
+	for id, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue // methods (e.g. rand.Rand.Intn on a seeded source) are fine
+		}
+		var problem string
+		switch fn.Pkg().Path() {
+		case "time":
+			if forbiddenTimeFuncs[fn.Name()] {
+				problem = "reads the wall clock"
+			}
+		case "os":
+			if forbiddenOSFuncs[fn.Name()] {
+				problem = "reads the process environment"
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRandFuncs[fn.Name()] {
+				problem = "draws from the ambient global rand source; use an explicitly seeded rand.New(rand.NewSource(seed))"
+			}
+		}
+		if problem != "" {
+			uses = append(uses, use{pos: int(id.Pos()), pkg: fn.Pkg().Path(), name: fn.Name(), problem: problem})
+		}
+	}
+	// Info.Uses is a map; pin report order.
+	sort.Slice(uses, func(i, j int) bool { return uses[i].pos < uses[j].pos })
+	for _, u := range uses {
+		pass.Reportf(tokenPos(u.pos), "%s.%s %s; simulation-core packages must be deterministic functions of the Spec",
+			u.pkg, u.name, u.problem)
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//vmplint:allow <rule> <reason>
+//
+// The comment suppresses diagnostics of <rule> on its own line
+// (trailing comment) or on the next code line (standalone comment;
+// consecutive allow comments stack onto the same code line). The
+// reason is mandatory and is echoed by `vmplint -suppressed`.
+const allowPrefix = "//vmplint:allow"
+
+// suppression is one parsed //vmplint:allow comment.
+type suppression struct {
+	pos    token.Pos
+	line   int // line the comment sits on
+	rule   string
+	reason string
+	used   bool
+}
+
+// suppressionIndex holds the parsed allow comments of one package,
+// grouped per file.
+type suppressionIndex struct {
+	fset    *token.FileSet
+	perFile map[string][]*suppression
+}
+
+// parseSuppressions extracts every //vmplint:allow comment from the
+// package's files.
+func parseSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex {
+	idx := &suppressionIndex{fset: fset, perFile: make(map[string][]*suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				rule, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				idx.perFile[pos.Filename] = append(idx.perFile[pos.Filename], &suppression{
+					pos:    c.Pos(),
+					line:   pos.Line,
+					rule:   rule,
+					reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// match finds a suppression covering a diagnostic of rule at pos: an
+// allow comment for the same rule on the same line, or standing
+// directly above it (possibly stacked with other allow comments).
+func (idx *suppressionIndex) match(rule string, pos token.Position) *suppression {
+	entries := idx.perFile[pos.Filename]
+	lines := make(map[int]bool, len(entries))
+	for _, e := range entries {
+		lines[e.line] = true
+	}
+	for _, e := range entries {
+		if e.rule != rule {
+			continue
+		}
+		if e.line == pos.Line {
+			e.used = true
+			return e
+		}
+		// Standalone comment(s) above the code line: every line
+		// strictly between the comment and the diagnostic must itself
+		// hold an allow comment.
+		if e.line < pos.Line {
+			covered := true
+			for l := e.line + 1; l < pos.Line; l++ {
+				if !lines[l] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				e.used = true
+				return e
+			}
+		}
+	}
+	return nil
+}
+
+// audit reports malformed and stale suppressions as findings: a
+// suppression without a reason, one naming an unknown rule, and one
+// that matched no diagnostic of a rule that ran on this package.
+func (idx *suppressionIndex) audit(ran map[string]bool) []Finding {
+	var out []Finding
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	files := make([]string, 0, len(idx.perFile))
+	for f := range idx.perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		for _, e := range idx.perFile[file] {
+			pos := idx.fset.Position(e.pos)
+			switch {
+			case e.rule == "" || !known[e.rule]:
+				out = append(out, Finding{Pos: pos, Rule: "vmplint",
+					Message: fmt.Sprintf("//vmplint:allow names unknown rule %q", e.rule)})
+			case e.reason == "":
+				out = append(out, Finding{Pos: pos, Rule: "vmplint",
+					Message: "//vmplint:allow " + e.rule + " has no reason; every suppression must say why"})
+			case !e.used && ran[e.rule]:
+				out = append(out, Finding{Pos: pos, Rule: "vmplint",
+					Message: "//vmplint:allow " + e.rule + " suppresses nothing; remove the stale annotation"})
+			}
+		}
+	}
+	return out
+}

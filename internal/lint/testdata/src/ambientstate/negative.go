@@ -1,0 +1,19 @@
+package memory
+
+// pageShift is a constant, not state.
+const pageShift = 7
+
+// Frame is a plain type; per-run state lives in values like this, not
+// at package level.
+type Frame struct {
+	Data [1 << pageShift]byte
+}
+
+// Reset clears the frame.
+func (f *Frame) Reset() {
+	*f = Frame{}
+}
+
+// The blank identifier is allowed: interface-satisfaction assertions
+// are compile-time checks, not state.
+var _ interface{ Reset() } = (*Frame)(nil)

@@ -1,0 +1,18 @@
+// Fixture for the ambientstate analyzer, loaded under the pretend
+// import path vmp/internal/memory so the sim-core Match applies.
+package memory
+
+// Package-level counters couple every run in the process.
+var (
+	hits   int // want "package-level variable hits is ambient state"
+	misses int // want "package-level variable misses is ambient state"
+)
+
+// Record mutates the ambient counters.
+func Record(hit bool) {
+	if hit {
+		hits++
+	} else {
+		misses++
+	}
+}

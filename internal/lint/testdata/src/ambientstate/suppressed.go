@@ -1,0 +1,9 @@
+package memory
+
+//vmplint:allow ambientstate fixture: read-only lookup table, nothing mutates it
+var sizeNames = map[int]string{64: "64KB", 128: "128KB"}
+
+// SizeName renders a cache size.
+func SizeName(kb int) string {
+	return sizeNames[kb]
+}

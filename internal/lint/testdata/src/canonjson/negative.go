@@ -1,0 +1,15 @@
+package scenario
+
+import "vmp/internal/core"
+
+// GoodSpec has explicit wire names everywhere, including through the
+// cross-package timing struct (tagged in internal/core).
+type GoodSpec struct {
+	Name   string       `json:"name"`
+	Timing *core.Timing `json:"timing,omitempty"`
+	Skip   []byte       `json:"-"`
+	note   string
+}
+
+// Note returns the unexported field so it is used.
+func (s GoodSpec) Note() string { return s.note }

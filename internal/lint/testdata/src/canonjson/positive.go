@@ -1,0 +1,26 @@
+// Fixture for the canonjson analyzer, loaded under the pretend import
+// path vmp/internal/scenario so the Match applies.
+package scenario
+
+// BadSpec is missing an explicit wire name.
+type BadSpec struct {
+	Procs int    // want "exported field BadSpec.Procs has no json tag"
+	Name  string `json:"name"`
+}
+
+// inner is unexported but reachable from a spec field, so its exported
+// fields are part of the canonical encoding and need tags too.
+type inner struct {
+	Depth int
+}
+
+// ReachSpec reaches the untagged struct through a tagged field.
+type ReachSpec struct {
+	Inner inner `json:"inner"` // want "field reaches vmp.internal.scenario.inner.Depth which has no json tag"
+}
+
+// Overlay builds an untyped document outside the canonicalization
+// path.
+func Overlay() map[string]any { // want "raw map.string.any bypasses the tagged-struct canonical-JSON contract"
+	return map[string]any{} // want "raw map.string.any bypasses the tagged-struct canonical-JSON contract"
+}

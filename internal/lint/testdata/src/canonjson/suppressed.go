@@ -1,0 +1,8 @@
+package scenario
+
+// Patch mimics the sanctioned dotted-path overlay in grid.go.
+func Patch() int {
+	//vmplint:allow canonjson fixture: sanctioned canonicalization-path document
+	doc := map[string]any{}
+	return len(doc)
+}

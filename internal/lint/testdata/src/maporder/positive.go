@@ -1,0 +1,31 @@
+// Fixture for the maporder analyzer: map-range bodies with
+// order-dependent effects.
+package maporder
+
+import "fmt"
+
+// Keys collects map keys in iteration order and never sorts them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "append to out never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump prints in iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m { // want "write to output via fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// Total accumulates floats in iteration order; float addition is not
+// associative, so the result bits depend on visit order.
+func Total(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want "floating-point accumulation into total"
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+package maporder
+
+// Render demonstrates a suppressed order-dependent append.
+func Render(m map[string]int) []string {
+	var out []string
+	//vmplint:allow maporder fixture: demonstrates a suppressed order-dependent append
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

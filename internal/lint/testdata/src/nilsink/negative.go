@@ -1,0 +1,49 @@
+package nilsink
+
+import "vmp/internal/obs"
+
+// Monitor mimics a component holding an optional sink.
+type Monitor struct {
+	sink *obs.Sink
+}
+
+// Guarded wraps the emit in the standard one-branch check.
+func (m *Monitor) Guarded(ev obs.Event) {
+	if m.sink != nil {
+		m.sink.Emit(ev)
+	}
+}
+
+// GuardedAnd keeps the guard under a conjunction.
+func (m *Monitor) GuardedAnd(ev obs.Event, verbose bool) {
+	if m.sink != nil && verbose {
+		m.sink.Emit(ev)
+	}
+}
+
+// EarlyReturn bails out before emitting.
+func (m *Monitor) EarlyReturn(ev obs.Event) {
+	if m.sink == nil {
+		return
+	}
+	m.sink.Emit(ev)
+}
+
+// ElseBranch emits on the non-nil arm.
+func (m *Monitor) ElseBranch(ev obs.Event) {
+	if m.sink == nil {
+		_ = ev
+	} else {
+		m.sink.Emit(ev)
+	}
+}
+
+// LoopContinue skips disabled iterations.
+func (m *Monitor) LoopContinue(evs []obs.Event) {
+	for _, ev := range evs {
+		if m.sink == nil {
+			continue
+		}
+		m.sink.Emit(ev)
+	}
+}

@@ -1,0 +1,33 @@
+// Fixture for the nilsink analyzer: (*obs.Sink).Emit call sites that
+// are not dominated by a nil check on the receiver.
+package nilsink
+
+import "vmp/internal/obs"
+
+// Board mimics a component holding an optional sink.
+type Board struct {
+	sink *obs.Sink
+}
+
+// Unguarded emits without the standard branch.
+func (b *Board) Unguarded(ev obs.Event) {
+	b.sink.Emit(ev) // want "obs emit on b.sink is not nil-guarded"
+}
+
+// WrongGuard checks a different expression than the receiver.
+func (b *Board) WrongGuard(other *obs.Sink, ev obs.Event) {
+	if other != nil {
+		b.sink.Emit(ev) // want "obs emit on b.sink is not nil-guarded"
+	}
+}
+
+// StaleClosureGuard guards outside a closure; the closure may run
+// later, so the guard does not dominate the emit.
+func (b *Board) StaleClosureGuard(ev obs.Event) func() {
+	if b.sink != nil {
+		return func() {
+			b.sink.Emit(ev) // want "obs emit on b.sink is not nil-guarded"
+		}
+	}
+	return func() {}
+}

@@ -1,0 +1,30 @@
+// Fixture for the simclock analyzer, loaded under the pretend import
+// path vmp/internal/cache so the sim-core Match applies. Each flagged
+// line carries a want comment checked by the test harness.
+package cache
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Elapsed measures with the wall clock.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want "time.Since reads the wall clock"
+}
+
+// Jitter draws from the shared global source.
+func Jitter() int {
+	return rand.Intn(8) // want "rand.Intn draws from the ambient global rand source"
+}
+
+// Tune reads the process environment.
+func Tune() string {
+	return os.Getenv("VMP_TUNE") // want "os.Getenv reads the process environment"
+}

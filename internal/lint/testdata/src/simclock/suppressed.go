@@ -1,0 +1,9 @@
+package cache
+
+import "time"
+
+// Wall is a sanctioned wall-clock measurement site.
+func Wall() int64 {
+	//vmplint:allow simclock fixture: host-cost measurement that never feeds simulated state
+	return time.Now().UnixNano()
+}

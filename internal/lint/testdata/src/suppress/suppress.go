@@ -1,0 +1,14 @@
+// Fixture for the suppression audit: malformed and stale
+// //vmplint:allow annotations are themselves diagnostics. The audit
+// findings land on the comment lines, so this fixture is checked by
+// direct assertions in the test rather than want comments.
+package suppress
+
+//vmplint:allow nosuchrule the rule name is wrong
+
+//vmplint:allow maporder
+
+//vmplint:allow maporder fixture: nothing below triggers the rule, so this is stale
+func Clean() int {
+	return 1
+}

@@ -42,8 +42,8 @@ type Cell struct {
 	// Name is "<grid name>/<axis assignments>", e.g.
 	// "pagesweep/page_size=256,processors=4"; a grid with no axes yields
 	// its base name.
-	Name string
-	Spec Spec
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"`
 }
 
 // Expand materializes the cross product of the axes into concrete,
@@ -66,7 +66,9 @@ func (g *Grid) Expand() ([]Cell, error) {
 	}
 
 	// Work in the spec's generic JSON form so any serializable field is
-	// addressable by path, present in the base or not.
+	// addressable by path, present in the base or not. This is the
+	// sanctioned canonicalization path: the untyped document always
+	// round-trips through ParseSpec (DisallowUnknownFields) below.
 	baseJSON, err := json.Marshal(g.Base)
 	if err != nil {
 		return nil, err
@@ -79,6 +81,7 @@ func (g *Grid) Expand() ([]Cell, error) {
 	idx := make([]int, len(g.Axes))
 	cells := make([]Cell, 0, total)
 	for n := 0; n < total; n++ {
+		//vmplint:allow canonjson sanctioned dotted-path overlay; the doc round-trips through ParseSpec which rejects unknown fields
 		var doc map[string]any
 		if err := json.Unmarshal(baseJSON, &doc); err != nil {
 			return nil, err
@@ -128,17 +131,21 @@ func (g *Grid) Expand() ([]Cell, error) {
 // setPath walks the dotted path through nested JSON objects, creating
 // intermediate objects as needed, and sets the final key to the raw
 // value.
+//
+//vmplint:allow canonjson sanctioned dotted-path overlay; callers re-validate through ParseSpec
 func setPath(doc map[string]any, path string, raw json.RawMessage) error {
 	keys := strings.Split(path, ".")
 	cur := doc
 	for _, k := range keys[:len(keys)-1] {
 		next, ok := cur[k]
 		if !ok || next == nil {
+			//vmplint:allow canonjson sanctioned dotted-path overlay; callers re-validate through ParseSpec
 			child := map[string]any{}
 			cur[k] = child
 			cur = child
 			continue
 		}
+		//vmplint:allow canonjson sanctioned dotted-path overlay; callers re-validate through ParseSpec
 		child, ok := next.(map[string]any)
 		if !ok {
 			return fmt.Errorf("path element %q is not an object", k)

@@ -18,12 +18,12 @@ import (
 // and (for callers that want to print detailed tables) the machine
 // itself.
 type RunResult struct {
-	Spec        Spec
-	Fingerprint string
-	Summary     Summary
+	Spec        Spec    `json:"spec"`
+	Fingerprint string  `json:"fingerprint"`
+	Summary     Summary `json:"summary"`
 	// Violations holds everything CheckInvariants reported plus any
 	// board-observed protocol violations; a surviving run has none.
-	Violations []string
+	Violations []string `json:"violations,omitempty"`
 	// Machine is the simulated machine after the run, for detailed
 	// reporting (per-board histograms, phase tables, Perfetto export).
 	// It is not serialized.

@@ -12,11 +12,12 @@ import (
 // changes wall-clock, never a cell's summary.
 type RunOptions struct {
 	// Workers is the number of cells simulated concurrently; values < 1
-	// mean serial.
-	Workers int
+	// mean serial. Never wire data (json:"-"): options must not leak
+	// into any canonical encoding, since they cannot affect results.
+	Workers int `json:"-"`
 	// Progress, when non-nil, receives each cell's name as it completes
 	// (called from worker goroutines, completion order).
-	Progress func(name string)
+	Progress func(name string) `json:"-"`
 }
 
 // CellResult is one grid point's machine-readable outcome —

@@ -253,7 +253,9 @@ func (e *Engine) Run() Time { return e.RunUntil(-1) }
 // deadline). Events exactly at the deadline still fire. The clock is
 // advanced to the deadline if it is reached.
 func (e *Engine) RunUntil(deadline Time) Time {
+	//vmplint:allow simclock wall-clock measurement only: Metrics.Wall reports host cost and never feeds simulated state
 	start := time.Now()
+	//vmplint:allow simclock wall-clock measurement only: Metrics.Wall reports host cost and never feeds simulated state
 	defer func() { e.metrics.Wall += time.Since(start) }()
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {

@@ -29,6 +29,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"vmp/internal/memory"
 )
@@ -230,13 +231,16 @@ func (v *VM) CreateSpace(asid uint8) error {
 	return nil
 }
 
-// Spaces returns the ASIDs of all live address spaces in creation
-// order-independent form (sorted not guaranteed; callers sort).
+// Spaces returns the ASIDs of all live address spaces, sorted: the
+// list feeds post-run sweeps and reports, so its order must not depend
+// on map iteration (found by vmplint maporder; previously every caller
+// was trusted to sort).
 func (v *VM) Spaces() []uint8 {
 	out := make([]uint8, 0, len(v.spaces))
 	for a := range v.spaces {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,22 @@
+// Module vmp/tools pins the versions of the third-party static
+// analysis binaries CI runs (staticcheck, govulncheck) without adding
+// them to the simulator's own dependency graph: the root module stays
+// dependency-free and buildable offline, while this nested module —
+// invisible to the root's ./... patterns — records the tool versions
+// as ordinary requirements. CI materializes go.sum with `go mod tidy`
+// before building the tools (see .github/workflows/ci.yml); bumping a
+// tool is a one-line change here instead of an @version literal buried
+// in the workflow.
+module vmp/tools
+
+go 1.24
+
+tool (
+	golang.org/x/vuln/cmd/govulncheck
+	honnef.co/go/tools/cmd/staticcheck
+)
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)
