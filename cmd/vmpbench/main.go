@@ -16,6 +16,8 @@
 //	                         # fault injection + invariant watchdog
 //	vmpbench -sweep grid.json -out sweep.json
 //	                         # expand a scenario grid and run every cell
+//	vmpbench -bench BENCH_6.json
+//	                         # hot-path benchmark snapshot (perf trajectory)
 //
 // Results are deterministic for a given -seed regardless of -workers:
 // each experiment's workload seed derives from the id, not from
@@ -35,6 +37,7 @@ import (
 
 	"vmp/internal/experiments"
 	"vmp/internal/fault"
+	"vmp/internal/perf"
 	"vmp/internal/scenario"
 	"vmp/internal/stats"
 )
@@ -53,8 +56,14 @@ func main() {
 		check   = flag.Bool("check", false, "enable the protocol invariant watchdog on every machine")
 		sweep   = flag.String("sweep", "", "expand and run the scenario.Grid in this JSON file instead of the experiment registry")
 		outFile = flag.String("out", "", "with -sweep: write the machine-readable per-cell results to this JSON file")
+		bench   = flag.String("bench", "", "collect the hot-path benchmark snapshot and write it to this JSON file (e.g. BENCH_6.json)")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		runBench(*bench)
+		return
+	}
 
 	if *sweep != "" {
 		runSweep(*sweep, *outFile, *workers)
@@ -115,6 +124,38 @@ func main() {
 		}
 		fmt.Printf("completed %d experiment(s) in %v\n", len(results), time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runBench collects the benchmark-trajectory snapshot (internal/perf)
+// and writes it to path, printing a human-readable summary. The JSON is
+// committed as BENCH_<n>.json per PR so the perf trajectory is
+// reviewable; the numbers are host-dependent, so compare snapshots from
+// comparable machines.
+func runBench(path string) {
+	snap, err := perf.Collect()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(1)
+	}
+
+	m := snap.Macro
+	fmt.Printf("macro %s (fingerprint %s): %.0f events/sec, %.0f simulated refs/sec, %.0f host-ns/miss\n",
+		m.Scenario, m.Fingerprint, m.EventsPerSec, m.RefsPerSec, m.NsPerMiss)
+	t := stats.NewTable("Hot-path micro-benchmarks", "Benchmark", "ns/op", "allocs/op", "B/op")
+	for _, mb := range snap.Micro {
+		t.Add(mb.Name, fmt.Sprintf("%.1f", mb.NsPerOp), mb.AllocsPerOp, mb.BytesPerOp)
+	}
+	fmt.Println(t)
+	fmt.Printf("wrote %s\n", path)
 }
 
 // runSweep expands a scenario grid, runs every cell (workers at a

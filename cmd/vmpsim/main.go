@@ -14,6 +14,7 @@
 //	vmpsim -procs 2 -trace edit.trc
 //	vmpsim -procs 4 -profile compile -sharekernel
 //	vmpsim -procs 4 -faults abort=0.05,copy=0.02 -check
+//	vmpsim -procs 4 -protocol vmp3 -check     # MESI-style exclusive-clean variant
 //	vmpsim -scenario run.json                # run a scenario file
 //	vmpsim -procs 4 -dump-spec               # print the spec for these flags
 //	vmpsim -procs 4 -trace-out run.json      # Perfetto/chrome://tracing trace
@@ -32,6 +33,7 @@ import (
 
 	"vmp/internal/bus"
 	"vmp/internal/obs"
+	"vmp/internal/protocol"
 	"vmp/internal/scenario"
 	"vmp/internal/stats"
 )
@@ -53,6 +55,7 @@ func main() {
 		hist        = flag.Bool("hist", false, "print each board's miss-latency histogram")
 		metrics     = flag.Bool("metrics", false, "dump the full per-run metrics sink (every counter)")
 		faults      = flag.String("faults", "", "fault-injection spec, e.g. abort=0.05,copy=0.02,fifo=2,storm=0.1,flip=0.02 (empty/none = off)")
+		protoFlag   = flag.String("protocol", "", "coherence protocol: "+strings.Join(protocol.Names(), ", ")+" (empty = "+protocol.DefaultName+")")
 		checkFlag   = flag.Bool("check", false, "enable the protocol invariant watchdog (implied by -faults)")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event/Perfetto JSON trace of the run to this file")
 		dumpOnExit  = flag.Bool("dump-on-exit", false, "dump the flight recorder to stderr when the run ends")
@@ -89,8 +92,9 @@ func main() {
 				ShareKernel: *shareKernel,
 				NoPrefault:  !*prefault,
 			},
-			Faults: *faults,
-			Check:  *checkFlag,
+			Protocol: *protoFlag,
+			Faults:   *faults,
+			Check:    *checkFlag,
 		}
 		if *traceFile != "" {
 			spec.Workload.Kind = scenario.WorkloadTrace
@@ -148,6 +152,11 @@ func main() {
 
 	em := m.Eng.Metrics()
 	fmt.Printf("scenario %s (fingerprint %s)\n", res.Spec.Name, res.Fingerprint)
+	// The protocol line appears only for non-default protocols, keeping
+	// default-protocol output byte-identical across versions.
+	if res.Spec.Protocol != "" {
+		fmt.Printf("protocol %s\n", res.Spec.Protocol)
+	}
 	fmt.Printf("simulated %v on %d processor(s); bus utilization %.1f%%\n",
 		res.Summary.SimTime(), res.Spec.Machine.Processors, res.Summary.BusUtilPct)
 	fmt.Printf("engine: %d events fired, max queue depth %d, %.3g sim-ns/wall-ms (%v wall)\n\n",

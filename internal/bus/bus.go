@@ -17,6 +17,7 @@ import (
 
 	"vmp/internal/busop"
 	"vmp/internal/obs"
+	"vmp/internal/protocol"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 )
@@ -39,6 +40,7 @@ const (
 	WriteActionTable = busop.WriteActionTable // explicit action-table update
 	PlainRead        = busop.PlainRead        // DMA/device read (word or block)
 	PlainWrite       = busop.PlainWrite       // DMA/device write (word or block)
+	ReadExclusive    = busop.ReadExclusive    // exclusive-clean read (vmp3 protocol)
 )
 
 // Ops returns every transaction type in declaration order.
@@ -79,6 +81,12 @@ type Result struct {
 	// separately so the copier re-issues the transfer instead of the
 	// board re-running the whole miss.
 	TransferErr bool
+	// SharedSeen reports that some monitor asserted the shared line
+	// during the check window (protocol.Reaction.Seen): the page is on
+	// record elsewhere, so an exclusive-clean grant (ReadExclusive)
+	// must be downgraded to a shared copy. Always false for protocols
+	// without a shared line.
+	SharedSeen bool
 }
 
 // Snooper is the bus-side interface of a bus monitor.
@@ -86,14 +94,17 @@ type Snooper interface {
 	// BoardID identifies the processor this monitor serves.
 	BoardID() int
 	// Check inspects a transaction during the consistency-check window
-	// and decides whether to abort it and whether to interrupt the
-	// local processor. It must not mutate monitor state.
-	Check(tx Transaction) (abort, interrupt bool)
+	// and returns the protocol reaction: whether to abort it, whether
+	// to interrupt the local processor, and whether to assert the
+	// shared line. It must not mutate monitor state.
+	Check(tx Transaction) protocol.Reaction
 	// Post enqueues an interrupt word for the local processor.
 	Post(tx Transaction)
 	// UpdateFromOwn applies the action-table side effect of a
-	// successful transaction issued by this monitor's own processor.
-	UpdateFromOwn(tx Transaction)
+	// successful transaction issued by this monitor's own processor,
+	// given the transaction's bus result (the shared-line state feeds
+	// the granted-state decision).
+	UpdateFromOwn(tx Transaction, res Result)
 }
 
 // Injector is the fault-injection hook consulted by Do. Both methods
@@ -301,11 +312,14 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 		// start of the window), then apply effects.
 		b.intrBuf = b.intrBuf[:0]
 		for _, s := range b.snoopers {
-			abort, intr := s.Check(tx)
-			if abort {
+			r := s.Check(tx)
+			if r.Abort {
 				res.Aborted = true
 			}
-			if intr {
+			if r.Seen {
+				res.SharedSeen = true
+			}
+			if r.Interrupt {
 				b.intrBuf = append(b.intrBuf, s)
 			}
 		}
@@ -344,7 +358,7 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 		if tx.Requester != NoRequester && (tx.Op.ConsistencyRelated() || tx.Op == WriteActionTable) {
 			for _, s := range b.snoopers {
 				if s.BoardID() == tx.Requester {
-					s.UpdateFromOwn(tx)
+					s.UpdateFromOwn(tx, res)
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package bus
 import (
 	"testing"
 
+	"vmp/internal/protocol"
 	"vmp/internal/sim"
 )
 
@@ -17,12 +18,12 @@ type fakeSnooper struct {
 }
 
 func (f *fakeSnooper) BoardID() int { return f.id }
-func (f *fakeSnooper) Check(tx Transaction) (bool, bool) {
+func (f *fakeSnooper) Check(tx Transaction) protocol.Reaction {
 	f.checked = append(f.checked, tx)
-	return f.abort, f.interrupt
+	return protocol.Reaction{Abort: f.abort, Interrupt: f.interrupt}
 }
-func (f *fakeSnooper) Post(tx Transaction)          { f.posted = append(f.posted, tx) }
-func (f *fakeSnooper) UpdateFromOwn(tx Transaction) { f.updated = append(f.updated, tx) }
+func (f *fakeSnooper) Post(tx Transaction)                      { f.posted = append(f.posted, tx) }
+func (f *fakeSnooper) UpdateFromOwn(tx Transaction, res Result) { f.updated = append(f.updated, tx) }
 
 func TestTransferTime(t *testing.T) {
 	tm := DefaultTiming()

@@ -23,7 +23,13 @@ const (
 	WriteActionTable           // explicit action-table update
 	PlainRead                  // DMA/device read (word or block)
 	PlainWrite                 // DMA/device write (word or block)
-	NumOps                     // number of distinct transaction types
+	// ReadExclusive is the vmp3 protocol's exclusive-clean read: a
+	// read-miss fill that installs a private-but-clean copy unless some
+	// monitor asserts the shared line. Appended after the plain ops so
+	// the numbering of the original Section 3.1 vocabulary (and every
+	// recorded trace that uses it) is unchanged.
+	ReadExclusive
+	NumOps // number of distinct transaction types
 )
 
 // names is the single op-name table. Adding an Op without extending it
@@ -37,6 +43,7 @@ var names = [NumOps]string{
 	WriteActionTable: "write-action-table",
 	PlainRead:        "plain-read",
 	PlainWrite:       "plain-write",
+	ReadExclusive:    "read-exclusive",
 }
 
 // String names the operation.
@@ -53,7 +60,7 @@ func (o Op) String() string {
 // requester's own table.
 func (o Op) ConsistencyRelated() bool {
 	switch o {
-	case ReadShared, ReadPrivate, AssertOwnership, WriteBack, Notify:
+	case ReadShared, ReadPrivate, AssertOwnership, WriteBack, Notify, ReadExclusive:
 		return true
 	default:
 		return false
@@ -63,7 +70,7 @@ func (o Op) ConsistencyRelated() bool {
 // Transfers reports whether the operation moves a block of data.
 func (o Op) Transfers() bool {
 	switch o {
-	case ReadShared, ReadPrivate, WriteBack, PlainRead, PlainWrite:
+	case ReadShared, ReadPrivate, WriteBack, PlainRead, PlainWrite, ReadExclusive:
 		return true
 	default:
 		return false

@@ -47,6 +47,7 @@ import (
 
 	"vmp/internal/bus"
 	"vmp/internal/monitor"
+	"vmp/internal/protocol"
 	"vmp/internal/stats"
 )
 
@@ -113,6 +114,9 @@ type Watchdog struct {
 	// counted detections: set when the fault plan injects table flips,
 	// so detected-and-repaired corruption is the *passing* outcome.
 	expectCorruption bool
+	// oracle holds the per-protocol relaxations (zero value = the
+	// strict vmp2 contract); see protocol.OracleSpec.
+	oracle protocol.OracleSpec
 
 	// onViolation, when set, fires for every recorded violation — the
 	// machine uses it to dump the flight recorder the moment the first
@@ -151,6 +155,10 @@ func New(rec *stats.Recorder, pageSize int) *Watchdog {
 
 // Attach registers a board's view for the quiescent sweep.
 func (w *Watchdog) Attach(v BoardView) { w.views = append(w.views, v) }
+
+// SetOracle installs the protocol's oracle contract (the zero
+// OracleSpec, the default, is the strict vmp2 contract).
+func (w *Watchdog) SetOracle(o protocol.OracleSpec) { w.oracle = o }
 
 // SetExpectCorruption marks the run as one whose fault plan corrupts
 // action tables: corruption findings count as detections instead of
@@ -215,11 +223,57 @@ func (w *Watchdog) OnTransaction(tx bus.Transaction, res bus.Result) {
 	switch tx.Op {
 	case bus.ReadShared:
 		if sf.owner != -1 {
-			w.violate("read-shared of frame %d by board %d succeeded while board %d owns it",
-				f, tx.Requester, sf.owner)
+			if w.oracle.AllowSelfOwnedRead && sf.owner == tx.Requester {
+				// A reverse-lookup-table protocol resolves own synonyms
+				// locally, so a stale own-ownership record is legal here;
+				// the read demotes it to a sharer role.
+				sf.owner = -1
+			} else {
+				w.violate("read-shared of frame %d by board %d succeeded while board %d owns it",
+					f, tx.Requester, sf.owner)
+			}
 		}
 		if tx.Requester != bus.NoRequester {
 			sf.sharers[tx.Requester] = true
+		}
+	case bus.ReadExclusive:
+		if res.SharedSeen {
+			// Shared line asserted: the grant was downgraded to a shared
+			// copy; any recorded owner must have objected (aborted), so a
+			// surviving owner here is a violation just like read-shared.
+			if sf.owner != -1 && sf.owner != tx.Requester {
+				w.violate("read-exclusive of frame %d by board %d granted shared while board %d owns it",
+					f, tx.Requester, sf.owner)
+			}
+			if sf.owner == tx.Requester {
+				sf.owner = -1
+			}
+			if tx.Requester != bus.NoRequester {
+				sf.sharers[tx.Requester] = true
+			}
+		} else {
+			// Exclusive-clean grant: legal only when nobody else is on
+			// record at all — a foreign Shared entry would have asserted
+			// the line (table and shadow move in lock-step), so a foreign
+			// shadow role here means a lost assertion.
+			if sf.owner != -1 && sf.owner != tx.Requester {
+				w.violate("read-exclusive of frame %d by board %d granted exclusive while board %d owns it",
+					f, tx.Requester, sf.owner)
+			}
+			foreignSharer := false
+			for s := range sf.sharers {
+				if s != tx.Requester {
+					foreignSharer = true
+				}
+			}
+			if foreignSharer {
+				w.corrupt("read-exclusive of frame %d by board %d granted exclusive despite foreign sharers on record",
+					f, tx.Requester)
+			}
+			if tx.Requester != bus.NoRequester {
+				sf.owner = tx.Requester
+				delete(sf.sharers, tx.Requester)
+			}
 		}
 	case bus.ReadPrivate, bus.AssertOwnership:
 		if sf.owner != -1 && sf.owner != tx.Requester {
@@ -296,7 +350,7 @@ func (w *Watchdog) observeAbort(tx bus.Transaction, res bus.Result, f uint32) {
 		w.phantomAb.Inc()
 		w.corrupt("write-back of frame %d by board %d aborted with no stale sharer on record",
 			f, tx.Requester)
-	case bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.Notify:
+	case bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.Notify, bus.ReadExclusive:
 		// Monitors abort these only from a Private entry, which the
 		// shadow records as an owner (possibly the requester itself: the
 		// own-alias abort).
@@ -353,6 +407,14 @@ func (w *Watchdog) FinalSweep() {
 			case monitor.Private:
 				if v.Protected(f) {
 					return
+				}
+				if w.oracle.StalePrivateOK {
+					if sf := w.frames[f]; sf != nil && sf.owner == id {
+						// A silently evicted exclusive-clean page: the
+						// entry is stale but mirrored by the stale shadow
+						// ownership, exactly like a stale Shared entry.
+						return
+					}
 				}
 				w.corrupt("board %d: phantom private entry for frame %d", id, f)
 				w.repair(v, f, monitor.Ignore)

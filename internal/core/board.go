@@ -9,6 +9,7 @@ import (
 	"vmp/internal/copier"
 	"vmp/internal/monitor"
 	"vmp/internal/obs"
+	"vmp/internal/protocol"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 	"vmp/internal/vm"
@@ -18,12 +19,12 @@ import (
 // frame, kept in the board's local memory (Section 3.3: "Information
 // about the state of each cache page and the mapping from physical
 // address to cache page is maintained by the processor in the local
-// memory").
-type pageState uint8
+// memory"). It aliases the protocol layer's page-state lattice.
+type pageState = protocol.PageState
 
 const (
-	psShared pageState = iota
-	psPrivate
+	psShared  = protocol.StateShared
+	psPrivate = protocol.StatePrivate
 )
 
 // frameInfo is the local-memory record for one physical frame the cache
@@ -48,6 +49,7 @@ type BoardStats struct {
 	Recoveries       uint64   // FIFO-overflow recovery sweeps
 	PageFaults       uint64   // VM faults taken
 	ProtFaults       uint64   // protection faults surfaced
+	SynonymFills     uint64   // misses resolved locally from the reverse lookup table (rlt)
 	Violations       uint64   // protocol violations observed (should stay 0)
 	MissTime         sim.Time // total time spent in the miss handler
 	IntrTime         sim.Time // total time spent servicing consistency interrupts
@@ -61,6 +63,7 @@ type boardCounters struct {
 	invalidationsIn, downgradesIn            *stats.Counter
 	writeBacks, writeBackRetries, recoveries *stats.Counter
 	pageFaults, protFaults, violations       *stats.Counter
+	synonymFills                             *stats.Counter
 	missTimeNs, intrTimeNs                   *stats.Counter
 }
 
@@ -78,6 +81,7 @@ func bindBoardCounters(rec *stats.Recorder, prefix string) boardCounters {
 		pageFaults:       rec.Counter(prefix + "page-faults"),
 		protFaults:       rec.Counter(prefix + "prot-faults"),
 		violations:       rec.Counter(prefix + "violations"),
+		synonymFills:     rec.Counter(prefix + "synonym-fills"),
 		missTimeNs:       rec.Counter(prefix + "miss-time-ns"),
 		intrTimeNs:       rec.Counter(prefix + "intr-time-ns"),
 	}
@@ -89,6 +93,7 @@ func bindBoardCounters(rec *stats.Recorder, prefix string) boardCounters {
 type Board struct {
 	ID    int
 	m     *Machine
+	proto protocol.Protocol
 	Cache *cache.Cache
 	Mon   *monitor.Monitor
 	Cop   *copier.Copier
@@ -129,11 +134,12 @@ func newBoard(m *Machine, id int) *Board {
 	prefix := fmt.Sprintf("board%d/", id)
 	c := cache.New(m.cfg.Cache)
 	c.BindRecorder(rec, prefix+"cache/")
-	mon := monitor.New(id, m.Mem.Frames(), m.cfg.Cache.PageSize, m.cfg.FIFODepth)
+	mon := monitor.New(id, m.Mem.Frames(), m.cfg.Cache.PageSize, m.cfg.FIFODepth, m.proto)
 	mon.BindRecorder(rec, prefix+"monitor/")
 	b := &Board{
 		ID:        id,
 		m:         m,
+		proto:     m.proto,
 		Cache:     c,
 		Mon:       mon,
 		Cop:       copier.New(m.Eng, m.Bus, id),
@@ -165,6 +171,7 @@ func (b *Board) Stats() BoardStats {
 		Recoveries:       uint64(b.ctr.recoveries.Value()),
 		PageFaults:       uint64(b.ctr.pageFaults.Value()),
 		ProtFaults:       uint64(b.ctr.protFaults.Value()),
+		SynonymFills:     uint64(b.ctr.synonymFills.Value()),
 		Violations:       uint64(b.ctr.violations.Value()),
 		MissTime:         sim.Time(b.ctr.missTimeNs.Value()),
 		IntrTime:         sim.Time(b.ctr.intrTimeNs.Value()),
@@ -343,13 +350,21 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 		b.emitPhase(obs.PhaseVictim, ts, p.Now()-ts, asid, pageAddr, 0)
 	}
 
+	// A reverse-lookup-table protocol first checks whether the frame is
+	// already cached under another virtual name and, if so, attaches
+	// the new name locally — no bus transaction, no self-competition.
+	wantPrivate := acc.Write || (b.readPrivateOnRead != nil && b.readPrivateOnRead(asid, vaddr))
+	if b.proto.LocalSynonyms() && b.attachSynonym(p, victim, asid, vaddr, acc, frame, walk.PTE) {
+		p.Delay(t.Handler.Epilogue)
+		if b.sink != nil {
+			b.emitPhase(obs.PhaseEpilogue, p.Now()-t.Handler.Epilogue, t.Handler.Epilogue, asid, pageAddr, 0)
+		}
+		return false, nil
+	}
+
 	// Resolve our own aliases for the target frame before going to the
 	// bus, from local-memory state (see the monitor package comment).
-	op := bus.ReadShared
-	wantPrivate := acc.Write || (b.readPrivateOnRead != nil && b.readPrivateOnRead(asid, vaddr))
-	if wantPrivate {
-		op = bus.ReadPrivate
-	}
+	op := b.proto.FillOp(wantPrivate)
 	b.resolveOwnAliases(p, frame, wantPrivate)
 
 	// Program the block copier; bookkeeping overlaps the transfer.
@@ -379,8 +394,10 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 		return true, nil // Access re-looks-up and re-traps
 	}
 
-	// Fill the slot and update the local tables.
-	flags := b.fillFlags(walk.PTE, op, acc)
+	// Fill the slot and update the local tables with the granted state
+	// (for an exclusive-clean read, the shared line decides it).
+	st := b.proto.FillState(op, res.SharedSeen)
+	flags := b.fillFlags(walk.PTE, st, acc)
 	b.Cache.Fill(victim, asid, vaddr, flags)
 	b.slotFrame[victim] = frame
 	fi := b.frames[frame]
@@ -389,11 +406,7 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 		b.frames[frame] = fi
 	}
 	fi.slots = append(fi.slots, victim)
-	if op == bus.ReadPrivate {
-		fi.state = psPrivate
-	} else {
-		fi.state = psShared
-	}
+	fi.state = st
 	if b.m.checker != nil {
 		b.m.checker.acquired(b.ID, frame, fi.state)
 	}
@@ -410,9 +423,9 @@ func (b *Board) missFill(p *sim.Process, asid uint8, vaddr uint32, acc cache.Acc
 	return false, nil
 }
 
-// fillFlags derives the cache slot flags from the PTE and the fill
-// operation.
-func (b *Board) fillFlags(pte vm.PTE, op bus.Op, acc cache.Access) cache.Flags {
+// fillFlags derives the cache slot flags from the PTE and the granted
+// page state.
+func (b *Board) fillFlags(pte vm.PTE, st pageState, acc cache.Access) cache.Flags {
 	var f cache.Flags
 	if !pte.Has(vm.Supervisor) {
 		f |= cache.UserRead
@@ -423,13 +436,58 @@ func (b *Board) fillFlags(pte vm.PTE, op bus.Op, acc cache.Access) cache.Flags {
 	if pte.Has(vm.Writable) {
 		f |= cache.SupWrite
 	}
-	if op == bus.ReadPrivate || op == bus.AssertOwnership {
+	if st == psPrivate {
 		f |= cache.Exclusive
 	}
 	if acc.Write {
 		f |= cache.Modified
 	}
 	return f
+}
+
+// attachSynonym is the reverse-lookup-table miss path (protocols with
+// LocalSynonyms): if the missed frame is already cached under another
+// virtual name, attach the new name to the resident copy from local
+// state — no bus transaction. For a frame held shared, the new name
+// becomes one more shared slot; for a frame held private, the copy
+// *moves* to the new name (the RLT scheme invalidates the old synonym
+// location and re-installs the line at the new index, preserving the
+// dirty data), keeping the one-slot-per-private-frame invariant. The
+// probe and page-map update are local-memory work, charged at the
+// handler's bookkeeping cost. Reports whether the miss was resolved.
+func (b *Board) attachSynonym(p *sim.Process, victim cache.SlotID, asid uint8, vaddr uint32, acc cache.Access, frame uint32, pte vm.PTE) bool {
+	fi := b.frames[frame]
+	if fi == nil {
+		return false
+	}
+	p.Delay(b.timing().Handler.BookkeepRead)
+	b.ctr.synonymFills.Inc()
+
+	if fi.state == psPrivate {
+		old := fi.slots[0]
+		flags := b.fillFlags(pte, psPrivate, acc)
+		if b.Cache.SlotState(old).Flags.Has(cache.Modified) {
+			flags |= cache.Modified
+		}
+		b.Cache.Invalidate(old)
+		b.Cache.Fill(victim, asid, vaddr, flags)
+		b.slotFrame[victim] = frame
+		fi.slots[0] = victim
+	} else {
+		// Shared: attach one more read copy. A write access re-trips as
+		// a write miss and upgrades ownership over the bus as usual.
+		rd := acc
+		rd.Write = false
+		b.Cache.Fill(victim, asid, vaddr, b.fillFlags(pte, psShared, rd))
+		b.slotFrame[victim] = frame
+		fi.slots = append(fi.slots, victim)
+	}
+	if acc.Write && fi.state == psPrivate {
+		b.m.VM.SetModified(asid, vaddr)
+	} else {
+		b.m.VM.SetReferenced(asid, vaddr)
+	}
+	return true
 }
 
 // translate performs the software table walk, charging handler time and
@@ -527,6 +585,13 @@ func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cac
 	p.Delay(t.Handler.VictimSelect)
 	victim := b.Cache.SuggestVictim(vaddr)
 	b.evict(p, victim)
+	// Page-table pages are shared metadata under every protocol: the
+	// nested fill always reads shared (no exclusive-clean probing), but
+	// a reverse-lookup-table protocol still resolves synonyms locally.
+	if b.proto.LocalSynonyms() && b.attachSynonym(p, victim, asid, vaddr, acc, frame, walk.PTE) {
+		p.Delay(t.Handler.Epilogue)
+		return false, nil
+	}
 	b.resolveOwnAliases(p, frame, false)
 	b.Cop.Start(bus.Transaction{Op: bus.ReadShared, PAddr: b.frameAddr(frame), Bytes: b.pageSize()})
 	p.Delay(t.Handler.BookkeepRead)
@@ -537,7 +602,7 @@ func (b *Board) missFillNested(p *sim.Process, asid uint8, vaddr uint32, acc cac
 		b.ServiceInterrupts(p)
 		return true, nil
 	}
-	b.Cache.Fill(victim, asid, vaddr, b.fillFlags(walk.PTE, bus.ReadShared, acc))
+	b.Cache.Fill(victim, asid, vaddr, b.fillFlags(walk.PTE, psShared, acc))
 	b.slotFrame[victim] = frame
 	fi := b.frames[frame]
 	if fi == nil {
@@ -664,7 +729,7 @@ func (b *Board) upgradeOwnership(p *sim.Process, asid uint8, vaddr uint32, attem
 	upPA = b.frameAddr(frame)
 
 	res := b.m.Bus.Do(p, bus.Transaction{
-		Op: bus.AssertOwnership, PAddr: b.frameAddr(frame), Requester: b.ID,
+		Op: b.proto.UpgradeOp(), PAddr: b.frameAddr(frame), Requester: b.ID,
 	})
 	if res.Aborted {
 		b.ctr.retries.Inc()
@@ -912,11 +977,12 @@ func (b *Board) ServiceInterrupts(p *sim.Process) {
 	}
 }
 
-// handleWord performs the consistency action for one FIFO word. It is
-// written to be idempotent and state-based, so stale words (for pages
-// already evicted or released) are safe.
+// handleWord performs the consistency action for one FIFO word,
+// classified by the protocol's word table. It is written to be
+// idempotent and state-based, so stale words (for pages already
+// evicted or released) are safe.
 func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
-	if w.Op == bus.Notify {
+	if b.proto.WordClass(w.Op) == protocol.WordNotify {
 		if b.onNotify != nil {
 			b.onNotify(w.PAddr)
 		}
@@ -942,13 +1008,13 @@ func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
 		return
 	}
 
-	switch w.Op {
-	case bus.ReadShared:
+	switch b.proto.WordClass(w.Op) {
+	case protocol.WordDowngrade:
 		// Someone wants a shared copy of a page we own: downgrade.
 		if fi.state == psPrivate {
 			b.releaseOwnership(p, frame, fi, true)
 		}
-	case bus.ReadPrivate, bus.AssertOwnership:
+	case protocol.WordRelease:
 		if fi.state == psPrivate {
 			b.releaseOwnership(p, frame, fi, false)
 		} else {
@@ -964,7 +1030,7 @@ func (b *Board) handleWord(p *sim.Process, w monitor.Word) {
 				Op: bus.WriteActionTable, PAddr: w.PAddr, Requester: b.ID, Action: uint8(monitor.Ignore),
 			})
 		}
-	case bus.WriteBack:
+	case protocol.WordWriteBack:
 		// A write-back means someone else owns the frame. If we hold a
 		// shared copy, our invalidation word must have been lost (FIFO
 		// overflow) before the recovery sweep ran: treat the write-back

@@ -11,6 +11,7 @@ import (
 	"vmp/internal/memory"
 	"vmp/internal/monitor"
 	"vmp/internal/obs"
+	"vmp/internal/protocol"
 	"vmp/internal/sim"
 	"vmp/internal/stats"
 	"vmp/internal/trace"
@@ -37,6 +38,9 @@ type Config struct {
 	// Policy decides PTE permissions for demand-zero faults (nil =
 	// vm.DefaultPolicy).
 	Policy vm.PagePolicy
+	// Protocol names the coherence protocol from the internal/protocol
+	// registry ("" = the default 2-state "vmp2").
+	Protocol string
 	// DisableChecker turns off the protocol-invariant oracle (useful
 	// only for benchmarking the simulator itself).
 	DisableChecker bool
@@ -99,6 +103,9 @@ func (c Config) Validate() error {
 	if c.FIFODepth < 1 {
 		return &ConfigError{"FIFODepth", fmt.Sprintf("FIFO depth %d; need at least 1", c.FIFODepth)}
 	}
+	if _, err := protocol.Get(c.Protocol); err != nil {
+		return &ConfigError{"Protocol", err.Error()}
+	}
 	return nil
 }
 
@@ -124,6 +131,9 @@ func (c *Config) FillDefaults() {
 	if c.Retry == (RetryPolicy{}) {
 		c.Retry = DefaultRetryPolicy()
 	}
+	if c.Protocol == "" {
+		c.Protocol = protocol.DefaultName
+	}
 	if c.Faults != nil && c.Faults.Enabled() {
 		c.Watchdog = true
 	}
@@ -138,6 +148,7 @@ type Machine struct {
 	Boards []*Board
 
 	cfg      Config
+	proto    protocol.Protocol
 	checker  *checker
 	inj      *fault.Injector
 	watch    *check.Watchdog
@@ -156,6 +167,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	proto, err := protocol.Get(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
 	mem := memory.New(cfg.MemorySize, cfg.Cache.PageSize)
 	m := &Machine{
@@ -164,6 +179,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		Mem:         mem,
 		VM:          vm.New(mem),
 		cfg:         cfg,
+		proto:       proto,
 		finishTimes: make(map[int]sim.Time),
 	}
 	if cfg.BusTiming != (bus.Timing{}) {
@@ -194,6 +210,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	if cfg.Watchdog {
 		m.watch = check.New(eng.Recorder(), cfg.Cache.PageSize)
+		m.watch.SetOracle(m.proto.Oracle())
 		m.watch.SetExpectCorruption(m.inj != nil && m.inj.Spec().FlipRate > 0)
 		for _, b := range m.Boards {
 			m.watch.Attach(boardView{b})
@@ -555,6 +572,7 @@ func (m *Machine) TotalStats() (cache.Stats, BoardStats) {
 		bs.Recoveries += s.Recoveries
 		bs.PageFaults += s.PageFaults
 		bs.ProtFaults += s.ProtFaults
+		bs.SynonymFills += s.SynonymFills
 		bs.Violations += s.Violations
 		bs.MissTime += s.MissTime
 		bs.IntrTime += s.IntrTime

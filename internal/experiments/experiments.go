@@ -173,6 +173,7 @@ var Registry = []Experiment{
 	{"consistency", "consistency interrupts as effective miss-ratio inflation", "Section 5.1", Moderate, AblationConsistency},
 	{"fault-sweep", "protocol survival under deterministic fault injection", "Sections 3.1-3.4", Moderate, FaultSweep},
 	{"misscost", "per-phase miss-cost breakdown from the event stream", "Table 2", Moderate, MissCost},
+	{"protocol-compare", "coherence protocols under the differential oracle", "Section 3.2", Moderate, ProtocolCompare},
 }
 
 // byID indexes Registry for dispatch.

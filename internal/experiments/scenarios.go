@@ -243,7 +243,8 @@ var scenarioGrids = map[string]func(Options) *scenario.Grid{
 			Workload: scenario.WorkloadSpec{Kind: scenario.WorkloadProfile, Profile: "edit", Refs: o.traceLen()},
 		})(o)
 	},
-	"fault-sweep": faultSweepGrid,
+	"fault-sweep":      faultSweepGrid,
+	"protocol-compare": protocolCompareGrid,
 	"misscost": func(o Options) *scenario.Grid {
 		return singleCell("misscost", scenario.Spec{
 			Machine:  machineSpec(4, 128<<10),

@@ -42,7 +42,7 @@ func refDecision(act Action, op bus.Op, own bool) (abort, interrupt bool) {
 func TestMonitorAgainstReferenceModel(t *testing.T) {
 	const frames = 64
 	const pageSize = 256
-	m := New(3, frames, pageSize, 16)
+	m := New(3, frames, pageSize, 16, nil)
 	table := make(map[uint32]Action) // reference action table
 	rnd := sim.NewRand(99)
 	ops := []bus.Op{bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.WriteBack, bus.Notify}
@@ -66,11 +66,11 @@ func TestMonitorAgainstReferenceModel(t *testing.T) {
 			op := ops[rnd.Intn(len(ops))]
 			req := rnd.Intn(5) // board 3 = own
 			own := req == 3
-			abort, intr := m.Check(bus.Transaction{Op: op, PAddr: paddr, Requester: req, Bytes: pageSize})
+			r := m.Check(bus.Transaction{Op: op, PAddr: paddr, Requester: req, Bytes: pageSize})
 			wantAbort, wantIntr := refDecision(table[frame], op, own)
-			if abort != wantAbort || intr != wantIntr {
+			if r.Abort != wantAbort || r.Interrupt != wantIntr {
 				t.Fatalf("%s: %v own=%v act=%v: got (%v,%v), want (%v,%v)",
-					ctx(), op, own, table[frame], abort, intr, wantAbort, wantIntr)
+					ctx(), op, own, table[frame], r.Abort, r.Interrupt, wantAbort, wantIntr)
 			}
 		case 3: // side-effect update from an own successful transaction
 			op := ops[rnd.Intn(len(ops))]
@@ -78,7 +78,7 @@ func TestMonitorAgainstReferenceModel(t *testing.T) {
 			if op == bus.WriteBack && rnd.Bool(0.5) {
 				tx.Downgrade = true
 			}
-			m.UpdateFromOwn(tx)
+			m.UpdateFromOwn(tx, bus.Result{})
 			switch op {
 			case bus.ReadShared:
 				table[frame] = Shared
@@ -98,7 +98,7 @@ func TestMonitorAgainstReferenceModel(t *testing.T) {
 func TestFIFOModelSequence(t *testing.T) {
 	// The FIFO against a plain slice queue, including overflow.
 	const depth = 8
-	m := New(0, 32, 256, depth)
+	m := New(0, 32, 256, depth, nil)
 	var ref []Word
 	dropped := 0
 	rnd := sim.NewRand(5)

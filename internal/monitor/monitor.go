@@ -32,35 +32,22 @@ import (
 
 	"vmp/internal/bus"
 	"vmp/internal/obs"
+	"vmp/internal/protocol"
 	"vmp/internal/stats"
 )
 
-// Action is a two-bit action-table entry.
-type Action uint8
+// Action is a two-bit action-table entry. It is an alias for
+// protocol.Action: the reaction table that interprets the codes lives
+// in the protocol layer, while the table storage and FIFO live here.
+type Action = protocol.Action
 
-// Action-table codes from Section 3.2.
+// Action-table codes from Section 3.2, re-exported from protocol.
 const (
-	Ignore  Action = 0 // 00 - do nothing
-	Shared  Action = 1 // 01 - interrupt on ownership requests
-	Private Action = 2 // 10 - abort + interrupt on any consistency transaction
-	Notify  Action = 3 // 11 - interrupt on notification
+	Ignore  = protocol.Ignore  // 00 - do nothing
+	Shared  = protocol.Shared  // 01 - interrupt on ownership requests
+	Private = protocol.Private // 10 - abort + interrupt on any consistency transaction
+	Notify  = protocol.Notify  // 11 - interrupt on notification
 )
-
-// String names the action code.
-func (a Action) String() string {
-	switch a {
-	case Ignore:
-		return "ignore"
-	case Shared:
-		return "shared"
-	case Private:
-		return "private"
-	case Notify:
-		return "notify"
-	default:
-		return fmt.Sprintf("Action(%d)", uint8(a))
-	}
-}
 
 // Word is one FIFO interrupt word: the transaction type and physical
 // address that triggered the interrupt.
@@ -104,6 +91,7 @@ type PostInjector interface {
 // Monitor is one processor board's bus monitor. Create with New.
 type Monitor struct {
 	boardID  int
+	proto    protocol.Protocol
 	pageSize int
 	table    []uint8 // packed 2-bit entries, 4 per byte
 	frames   int
@@ -119,14 +107,20 @@ type Monitor struct {
 
 // New creates a monitor for board boardID covering a physical memory of
 // frames cache page frames of pageSize bytes each, with the given FIFO
-// depth (0 selects DefaultFIFODepth). The monitor counts events into a
-// private recorder until BindRecorder attaches it to a run's sink.
-func New(boardID, frames, pageSize, fifoDepth int) *Monitor {
+// depth (0 selects DefaultFIFODepth), reacting to bus traffic per the
+// given protocol's reaction table (nil selects the default protocol).
+// The monitor counts events into a private recorder until BindRecorder
+// attaches it to a run's sink.
+func New(boardID, frames, pageSize, fifoDepth int, proto protocol.Protocol) *Monitor {
 	if fifoDepth <= 0 {
 		fifoDepth = DefaultFIFODepth
 	}
+	if proto == nil {
+		proto, _ = protocol.Get(protocol.DefaultName)
+	}
 	return &Monitor{
 		boardID:  boardID,
+		proto:    proto,
 		pageSize: pageSize,
 		table:    make([]uint8, (frames+3)/4),
 		frames:   frames,
@@ -206,47 +200,15 @@ func (m *Monitor) SetAction(paddr uint32, a Action) {
 	m.table[f>>2] = m.table[f>>2]&^(3<<shift) | uint8(a)<<shift
 }
 
-// Check implements bus.Snooper: the consistency-check window decision.
-func (m *Monitor) Check(tx bus.Transaction) (abort, interrupt bool) {
+// Check implements bus.Snooper: the consistency-check window decision,
+// delegated to the protocol's reaction table.
+func (m *Monitor) Check(tx bus.Transaction) protocol.Reaction {
 	m.ctr.checks.Inc()
-	act := m.Action(tx.PAddr)
-	own := tx.Requester == m.boardID
-
-	switch act {
-	case Ignore:
-		return false, false
-	case Shared:
-		switch tx.Op {
-		case bus.ReadShared, bus.Notify:
-			return false, false
-		case bus.ReadPrivate, bus.AssertOwnership:
-			// Another processor takes ownership: we must discard our
-			// shared copy. Our own read-private over a shared alias is
-			// resolved by the miss handler from local state.
-			return false, !own
-		case bus.WriteBack:
-			// A write-back of a page we hold shared is a protocol
-			// violation (someone wrote back a page they did not own).
-			m.ctr.aborts.Inc()
-			return true, !own
-		}
-	case Private:
-		if own && tx.Op == bus.WriteBack {
-			// The owner releasing the page: never aborted.
-			return false, false
-		}
-		// Any consistency-related transaction on a page we own must be
-		// aborted so we can release the page first. This includes our
-		// own transactions under a different virtual address (alias).
+	r := m.proto.React(m.Action(tx.PAddr), tx.Op, tx.Requester == m.boardID)
+	if r.Abort {
 		m.ctr.aborts.Inc()
-		return true, !own
-	case Notify:
-		if tx.Op == bus.Notify {
-			return false, !own
-		}
-		return false, false
 	}
-	return false, false
+	return r
 }
 
 // Post implements bus.Snooper: enqueue a FIFO word, or set the overflow
@@ -293,21 +255,10 @@ func (m *Monitor) push(w Word) {
 
 // UpdateFromOwn implements bus.Snooper: the overlapped action-table
 // update performed as a side effect of this processor's own successful
-// transaction.
-func (m *Monitor) UpdateFromOwn(tx bus.Transaction) {
-	switch tx.Op {
-	case bus.ReadShared:
-		m.SetAction(tx.PAddr, Shared)
-	case bus.ReadPrivate, bus.AssertOwnership:
-		m.SetAction(tx.PAddr, Private)
-	case bus.WriteBack:
-		if tx.Downgrade {
-			m.SetAction(tx.PAddr, Shared)
-		} else {
-			m.SetAction(tx.PAddr, Ignore)
-		}
-	case bus.WriteActionTable:
-		m.SetAction(tx.PAddr, Action(tx.Action&3))
+// transaction, delegated to the protocol's transition table.
+func (m *Monitor) UpdateFromOwn(tx bus.Transaction, res bus.Result) {
+	if a, ok := m.proto.TableUpdate(tx.Op, tx.Downgrade, res.SharedSeen, tx.Action); ok {
+		m.SetAction(tx.PAddr, a)
 	}
 }
 

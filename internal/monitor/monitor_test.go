@@ -12,7 +12,7 @@ const (
 	pageSize = 256
 )
 
-func newMon(board int) *Monitor { return New(board, frames, pageSize, 0) }
+func newMon(board int) *Monitor { return New(board, frames, pageSize, 0, nil) }
 
 func tx(op bus.Op, paddr uint32, req int) bus.Transaction {
 	return bus.Transaction{Op: op, PAddr: paddr, Bytes: pageSize, Requester: req}
@@ -68,8 +68,8 @@ func TestSetActionOutOfRangePanics(t *testing.T) {
 func TestCheckIgnore(t *testing.T) {
 	m := newMon(0)
 	for _, op := range []bus.Op{bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.WriteBack, bus.Notify} {
-		abort, intr := m.Check(tx(op, 0x1000, 1))
-		if abort || intr {
+		r := m.Check(tx(op, 0x1000, 1))
+		if r.Abort || r.Interrupt {
 			t.Errorf("Ignore entry reacted to %v", op)
 		}
 	}
@@ -81,21 +81,21 @@ func TestCheckShared(t *testing.T) {
 
 	// read-shared and notify pass silently.
 	for _, op := range []bus.Op{bus.ReadShared, bus.Notify} {
-		if abort, intr := m.Check(tx(op, 0x1000, 1)); abort || intr {
+		if r := m.Check(tx(op, 0x1000, 1)); r.Abort || r.Interrupt {
 			t.Errorf("Shared entry reacted to %v", op)
 		}
 	}
 	// Ownership requests from others interrupt without abort.
 	for _, op := range []bus.Op{bus.ReadPrivate, bus.AssertOwnership} {
-		abort, intr := m.Check(tx(op, 0x1000, 1))
-		if abort || !intr {
-			t.Errorf("Shared entry on %v: abort=%v intr=%v", op, abort, intr)
+		r := m.Check(tx(op, 0x1000, 1))
+		if r.Abort || !r.Interrupt {
+			t.Errorf("Shared entry on %v: abort=%v intr=%v", op, r.Abort, r.Interrupt)
 		}
 	}
 	// A write-back of a page we hold shared is a protocol violation.
-	abort, intr := m.Check(tx(bus.WriteBack, 0x1000, 1))
-	if !abort || !intr {
-		t.Errorf("Shared entry on write-back: abort=%v intr=%v", abort, intr)
+	r := m.Check(tx(bus.WriteBack, 0x1000, 1))
+	if !r.Abort || !r.Interrupt {
+		t.Errorf("Shared entry on write-back: abort=%v intr=%v", r.Abort, r.Interrupt)
 	}
 }
 
@@ -103,9 +103,9 @@ func TestCheckPrivate(t *testing.T) {
 	m := newMon(0)
 	m.SetAction(0x2000, Private)
 	for _, op := range []bus.Op{bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.WriteBack} {
-		abort, intr := m.Check(tx(op, 0x2000, 1))
-		if !abort || !intr {
-			t.Errorf("Private entry on %v from other: abort=%v intr=%v", op, abort, intr)
+		r := m.Check(tx(op, 0x2000, 1))
+		if !r.Abort || !r.Interrupt {
+			t.Errorf("Private entry on %v from other: abort=%v intr=%v", op, r.Abort, r.Interrupt)
 		}
 	}
 }
@@ -113,9 +113,9 @@ func TestCheckPrivate(t *testing.T) {
 func TestCheckPrivateOwnWriteBackReleases(t *testing.T) {
 	m := newMon(0)
 	m.SetAction(0x2000, Private)
-	abort, intr := m.Check(tx(bus.WriteBack, 0x2000, 0))
-	if abort || intr {
-		t.Errorf("own write-back was aborted/interrupted: %v %v", abort, intr)
+	r := m.Check(tx(bus.WriteBack, 0x2000, 0))
+	if r.Abort || r.Interrupt {
+		t.Errorf("own write-back was aborted/interrupted: %v %v", r.Abort, r.Interrupt)
 	}
 }
 
@@ -125,11 +125,11 @@ func TestCheckPrivateOwnAliasAborts(t *testing.T) {
 	// interrupt word is enqueued for it.
 	m := newMon(0)
 	m.SetAction(0x2000, Private)
-	abort, intr := m.Check(tx(bus.ReadShared, 0x2000, 0))
-	if !abort {
+	r := m.Check(tx(bus.ReadShared, 0x2000, 0))
+	if !r.Abort {
 		t.Error("own read-shared of owned page not aborted")
 	}
-	if intr {
+	if r.Interrupt {
 		t.Error("own transaction enqueued an interrupt")
 	}
 }
@@ -137,12 +137,12 @@ func TestCheckPrivateOwnAliasAborts(t *testing.T) {
 func TestCheckNotify(t *testing.T) {
 	m := newMon(0)
 	m.SetAction(0x3000, Notify)
-	abort, intr := m.Check(tx(bus.Notify, 0x3000, 1))
-	if abort || !intr {
-		t.Errorf("Notify entry on notify: %v %v", abort, intr)
+	r := m.Check(tx(bus.Notify, 0x3000, 1))
+	if r.Abort || !r.Interrupt {
+		t.Errorf("Notify entry on notify: %v %v", r.Abort, r.Interrupt)
 	}
 	for _, op := range []bus.Op{bus.ReadShared, bus.ReadPrivate, bus.AssertOwnership, bus.WriteBack} {
-		if abort, intr := m.Check(tx(op, 0x3000, 1)); abort || intr {
+		if r := m.Check(tx(op, 0x3000, 1)); r.Abort || r.Interrupt {
 			t.Errorf("Notify entry reacted to %v", op)
 		}
 	}
@@ -160,14 +160,14 @@ func TestUpdateFromOwn(t *testing.T) {
 		{bus.WriteBack, Ignore},
 	}
 	for _, c := range cases {
-		m.UpdateFromOwn(tx(c.op, 0x4000, 0))
+		m.UpdateFromOwn(tx(c.op, 0x4000, 0), bus.Result{})
 		if got := m.Action(0x4000); got != c.want {
 			t.Errorf("after own %v: action %v, want %v", c.op, got, c.want)
 		}
 	}
 	wat := tx(bus.WriteActionTable, 0x4000, 0)
 	wat.Action = uint8(Notify)
-	m.UpdateFromOwn(wat)
+	m.UpdateFromOwn(wat, bus.Result{})
 	if m.Action(0x4000) != Notify {
 		t.Error("write-action-table did not apply")
 	}
@@ -193,7 +193,7 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestFIFOOverflow(t *testing.T) {
-	m := New(0, frames, pageSize, 4)
+	m := New(0, frames, pageSize, 4, nil)
 	for i := 0; i < 6; i++ {
 		m.Post(tx(bus.ReadPrivate, uint32(i)*pageSize, 1))
 	}
@@ -218,7 +218,7 @@ func TestFIFOOverflow(t *testing.T) {
 }
 
 func TestFIFOWraparound(t *testing.T) {
-	m := New(0, frames, pageSize, 4)
+	m := New(0, frames, pageSize, 4, nil)
 	// Fill, drain half, refill: exercises ring wrap.
 	for i := 0; i < 3; i++ {
 		m.Post(tx(bus.ReadPrivate, uint32(i)*pageSize, 1))

@@ -18,7 +18,7 @@ func post(m *Monitor, paddr uint32) {
 }
 
 func TestDepthLimitOverflow(t *testing.T) {
-	m := New(0, frames, pageSize, 8)
+	m := New(0, frames, pageSize, 8, nil)
 	m.SetDepthLimit(2)
 
 	post(m, 0x1000)
@@ -83,7 +83,7 @@ func TestDepthLimitOverflow(t *testing.T) {
 }
 
 func TestStormDuplicatesWords(t *testing.T) {
-	m := New(0, frames, pageSize, 16)
+	m := New(0, frames, pageSize, 16, nil)
 	m.SetInjector(fixedStorm{extra: 3})
 
 	post(m, 0x2000)

@@ -1,0 +1,230 @@
+// Package perf collects the repo's benchmark-trajectory snapshot: a
+// small pinned suite measuring the simulator's own hot paths (host-side
+// speed, not simulated time), emitted as BENCH_<n>.json so per-PR perf
+// claims are reviewable as a committed trajectory rather than asserted
+// in prose. The numbers are host-dependent by nature — a snapshot is
+// comparable to its predecessors on the same class of machine, and the
+// environment block records what ran it.
+//
+// Two layers:
+//
+//   - Macro: one pinned scenario run end to end through scenario.Run,
+//     reporting engine events/sec, simulated-refs/sec and host ns per
+//     simulated miss — the figures ROADMAP item 2's speed campaign is
+//     judged on.
+//   - Micro: allocs/op and ns/op for the four hot components (engine
+//     event queue, bus transaction path, cache lookup, monitor check),
+//     via testing.Benchmark so the op counts are calibrated the same
+//     way `go test -bench` calibrates them.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"vmp/internal/bus"
+	"vmp/internal/cache"
+	"vmp/internal/monitor"
+	"vmp/internal/scenario"
+	"vmp/internal/sim"
+	"vmp/internal/workload"
+)
+
+// Micro is one micro-benchmark result.
+type Micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Macro is the pinned end-to-end scenario measurement.
+type Macro struct {
+	Scenario       string  `json:"scenario"`
+	Fingerprint    string  `json:"fingerprint"`
+	WallMs         float64 `json:"wall_ms"`
+	SimMs          float64 `json:"sim_ms"`
+	Refs           uint64  `json:"refs"`
+	Misses         uint64  `json:"misses"`
+	EventsFired    uint64  `json:"events_fired"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	RefsPerSec     float64 `json:"simulated_refs_per_sec"`
+	NsPerMiss      float64 `json:"host_ns_per_miss"`
+	SimNsPerWallMs float64 `json:"sim_ns_per_wall_ms"`
+}
+
+// Snapshot is the full benchmark-trajectory record for one revision.
+type Snapshot struct {
+	Version   int     `json:"version"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	Macro     Macro   `json:"macro"`
+	Micro     []Micro `json:"micro"`
+}
+
+// macroSpec is the pinned scenario the macro layer runs: the standard
+// 4-processor contended machine on the edit profile, long enough that
+// steady-state dominates cold start. Changing it breaks trajectory
+// comparability, so don't.
+func macroSpec() scenario.Spec {
+	return scenario.Spec{
+		Name: "bench-macro",
+		Seed: 11,
+		Machine: scenario.MachineSpec{
+			Processors: 4,
+			CacheSize:  64 << 10,
+			PageSize:   256,
+			Assoc:      4,
+			MemorySize: 8 << 20,
+		},
+		Workload: scenario.WorkloadSpec{
+			Kind:    scenario.WorkloadProfile,
+			Profile: "edit",
+			Refs:    100_000,
+		},
+	}
+}
+
+// Collect runs the suite and returns the snapshot.
+func Collect() (*Snapshot, error) {
+	s := &Snapshot{
+		Version:   1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	spec := macroSpec()
+	start := time.Now()
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("perf: macro scenario: %w", err)
+	}
+	wall := time.Since(start)
+	sum := res.Summary
+	s.Macro = Macro{
+		Scenario:    spec.Name,
+		Fingerprint: res.Fingerprint,
+		WallMs:      float64(wall) / float64(time.Millisecond),
+		SimMs:       float64(sum.SimNs) / 1e6,
+		Refs:        sum.Refs,
+		Misses:      sum.Fills,
+		EventsFired: sum.EventsFired,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		s.Macro.EventsPerSec = float64(sum.EventsFired) / secs
+		s.Macro.RefsPerSec = float64(sum.Refs) / secs
+		s.Macro.SimNsPerWallMs = float64(sum.SimNs) / (float64(wall) / float64(time.Millisecond))
+	}
+	if sum.Fills > 0 {
+		s.Macro.NsPerMiss = float64(wall.Nanoseconds()) / float64(sum.Fills)
+	}
+
+	for _, mb := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"engine/schedule-fire", benchEngine},
+		{"bus/transaction", benchBus},
+		{"cache/lookup", benchCache},
+		{"monitor/check", benchMonitor},
+	} {
+		r := testing.Benchmark(mb.fn)
+		s.Micro = append(s.Micro, Micro{
+			Name:        mb.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return s, nil
+}
+
+// benchEngine measures the event queue: schedule b.N timers at
+// scattered deadlines, then drain. Cost per op covers one heap push and
+// one pop+dispatch.
+func benchEngine(b *testing.B) {
+	eng := sim.NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Scatter deadlines so the heap actually reorders.
+		eng.Schedule(sim.Time((i*2654435761)%4096), nop)
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// benchBus measures one consistency-related transaction through the
+// full bus path: semaphore, 4-monitor check window, timing, counters.
+func benchBus(b *testing.B) {
+	eng := sim.NewEngine()
+	bs := bus.New(eng)
+	for id := 0; id < 4; id++ {
+		bs.Attach(monitor.New(id, 1024, 256, 128, nil))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *sim.Process) {
+		for i := 0; i < b.N; i++ {
+			bs.Do(p, bus.Transaction{
+				Op:        bus.ReadShared,
+				PAddr:     uint32((i % 1024) * 256),
+				Requester: i % 4,
+				Bytes:     256,
+			})
+		}
+	})
+	eng.Run()
+}
+
+// benchCache measures the cache lookup path on a realistic reference
+// stream (mostly hits, with fills on the misses, like the simulator's
+// own hot loop).
+func benchCache(b *testing.B) {
+	c := cache.New(cache.Geometry(128<<10, 256, 4))
+	refs, err := workload.Generate(workload.Edit, 7, 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := refs[i%len(refs)]
+		if _, res := c.Lookup(r.ASID, r.VAddr, cache.Access{Write: r.IsWrite(), Super: r.Super}); res == cache.Miss {
+			c.Fill(c.SuggestVictim(r.VAddr), r.ASID, r.VAddr, cache.UserRead|cache.UserWrite|cache.SupWrite)
+		}
+	}
+}
+
+// benchMonitor measures the check window's per-monitor cost: the table
+// read plus the protocol reaction, on a table with a realistic mix of
+// entries.
+func benchMonitor(b *testing.B) {
+	m := monitor.New(1, 1024, 256, 128, nil)
+	for f := 0; f < 1024; f++ {
+		switch f % 4 {
+		case 1:
+			m.SetAction(uint32(f*256), monitor.Shared)
+		case 2:
+			m.SetAction(uint32(f*256), monitor.Private)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Check(bus.Transaction{
+			Op:        bus.ReadPrivate,
+			PAddr:     uint32((i % 1024) * 256),
+			Requester: i % 4,
+		})
+	}
+}

@@ -1,0 +1,229 @@
+// Package protocol defines the pluggable cache-coherence protocol
+// layer: the page-state lattice, the monitor reaction table (what each
+// bus operation does to each local action-table state), the miss
+// handler's transition plan (which bus op a fill issues and which page
+// state the fill installs), and the per-protocol invariants the shadow
+// oracle in internal/check is allowed to assume.
+//
+// Three protocols are registered:
+//
+//   - vmp2: the paper's 2-state (shared/private) distributed-ownership
+//     protocol, extracted verbatim from the previously hardwired logic.
+//   - vmp3: a MESI-style exclusive-clean refinement. A read miss issues
+//     ReadExclusive; if no other monitor holds the page Shared, the
+//     fill installs the page private-but-clean, so a subsequent local
+//     write needs no AssertOwnership bus transaction.
+//   - rlt: reverse-lookup-table synonym handling for virtually-tagged
+//     caches (Desai & Deshmukh, arXiv:2108.00444). The board's
+//     frame-to-slots reverse map doubles as the RLT: a miss whose
+//     frame is already cached under another virtual name is resolved
+//     locally instead of competing against itself on the bus.
+//
+// The protocol layer is deliberately pure: implementations are
+// stateless value types, all decisions are functions of their
+// arguments, and nothing here touches the simulator clock, so a
+// protocol can be shared by every board of a machine (and by the
+// differential oracle running several machines side by side).
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"vmp/internal/busop"
+)
+
+// Action is a two-bit monitor action-table entry, the per-frame local
+// state every protocol works in terms of. The codes are the paper's
+// Section 3.2 encoding and are shared by all protocols (vmp3's
+// exclusive-clean state is a cache-flag refinement of Private, not a
+// new table code — the table stays two bits wide as in the hardware).
+type Action uint8
+
+// Action-table codes from Section 3.2.
+const (
+	Ignore  Action = 0 // 00 - do nothing
+	Shared  Action = 1 // 01 - interrupt on ownership requests
+	Private Action = 2 // 10 - abort + interrupt on any consistency transaction
+	Notify  Action = 3 // 11 - interrupt on notification
+)
+
+// String names the action code.
+func (a Action) String() string {
+	switch a {
+	case Ignore:
+		return "ignore"
+	case Shared:
+		return "shared"
+	case Private:
+		return "private"
+	case Notify:
+		return "notify"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// PageState is the software page-state a fill installs in the board's
+// local tables. The lattice is shared/private for every registered
+// protocol; vmp3 refines private with the cache's Exclusive+!Modified
+// (private-clean) flag combination.
+type PageState uint8
+
+const (
+	// StateShared: readable copy, other caches may hold it too.
+	StateShared PageState = iota
+	// StatePrivate: this board owns the page exclusively.
+	StatePrivate
+)
+
+// String names the page state.
+func (s PageState) String() string {
+	switch s {
+	case StateShared:
+		return "shared"
+	case StatePrivate:
+		return "private"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// Reaction is a monitor's decision about one observed transaction
+// within the consistency-check window.
+type Reaction struct {
+	// Abort asserts the abort line: the transaction must not complete.
+	Abort bool
+	// Interrupt posts a FIFO word to this monitor's processor.
+	Interrupt bool
+	// Seen asserts the shared line: this monitor's table records the
+	// page, so an exclusive-clean grant must be downgraded to shared.
+	// Only vmp3's ReadExclusive consults it.
+	Seen bool
+}
+
+// WordClass tells the interrupt-service routine what kind of response
+// a FIFO word demands, so the service path is protocol-agnostic.
+type WordClass uint8
+
+const (
+	// WordNone: no consistency response (the word is informational).
+	WordNone WordClass = iota
+	// WordNotify: deliver the notification to the waiting processor.
+	WordNotify
+	// WordDowngrade: another processor wants the page shared — if held
+	// private, release ownership but keep a shared copy.
+	WordDowngrade
+	// WordRelease: another processor wants the page exclusively —
+	// release ownership (write back if dirty) and invalidate all
+	// copies.
+	WordRelease
+	// WordWriteBack: a write-back of a page this board holds shared —
+	// the copy is stale; invalidate it.
+	WordWriteBack
+)
+
+// OracleSpec declares the per-protocol relaxations the shadow oracle
+// (internal/check) must honour. The zero value is the strict vmp2
+// contract.
+type OracleSpec struct {
+	// AllowSelfOwnedRead permits a ReadShared to complete while the
+	// shadow record still names the requester as owner (rlt resolves
+	// own aliases locally instead of self-aborting, so a stale own
+	// ownership record is legal; the oracle converts it to a sharer
+	// role).
+	AllowSelfOwnedRead bool
+	// StalePrivateOK permits a quiescent Private table entry for a
+	// frame the board no longer holds, provided the shadow record
+	// still names that board as owner (vmp3's exclusive-clean pages
+	// are evicted silently, exactly like vmp2's clean shared pages).
+	StalePrivateOK bool
+}
+
+// Protocol is one coherence protocol: the reaction table, the
+// transition plan, and the oracle contract. Implementations are
+// stateless and safe for concurrent use by every board of a machine.
+type Protocol interface {
+	// Name is the registry key ("vmp2", "vmp3", "rlt").
+	Name() string
+
+	// Lattice lists the page states the protocol's fills install.
+	Lattice() []PageState
+
+	// React is the monitor reaction table: the decision for one
+	// observed transaction given the local action-table entry act and
+	// whether the transaction is the monitor's own (own). Pure.
+	React(act Action, op busop.Op, own bool) Reaction
+
+	// TableUpdate is the overlapped action-table update a monitor
+	// applies as a side effect of its own successful transaction:
+	// the new entry for the transaction's frame, or ok=false to leave
+	// the table untouched. downgrade is the transaction's Downgrade
+	// flag, sharedSeen the bus's shared-line result, action the raw
+	// WriteActionTable payload.
+	TableUpdate(op busop.Op, downgrade, sharedSeen bool, action uint8) (a Action, ok bool)
+
+	// FillOp is the bus operation a miss fill issues: wantPrivate is
+	// true for write misses (and the read-private policy hint).
+	FillOp(wantPrivate bool) busop.Op
+
+	// FillState is the page state a successful fill installs, given
+	// the op it issued and the bus's shared-line result.
+	FillState(op busop.Op, sharedSeen bool) PageState
+
+	// UpgradeOp is the bus operation a write hit on a shared page
+	// issues to take ownership in place.
+	UpgradeOp() busop.Op
+
+	// WordClass classifies a FIFO interrupt word for the service
+	// routine.
+	WordClass(op busop.Op) WordClass
+
+	// SelfAborts reports whether the monitor aborts its own
+	// processor's transactions (the paper's "competing against
+	// itself" alias handling). When false the board must resolve
+	// synonyms locally (LocalSynonyms).
+	SelfAborts() bool
+
+	// LocalSynonyms reports whether the board resolves virtual-address
+	// synonyms from its reverse lookup table (frame → cached slots)
+	// without bus traffic.
+	LocalSynonyms() bool
+
+	// Oracle is the shadow-oracle contract for this protocol.
+	Oracle() OracleSpec
+}
+
+// DefaultName is the protocol assumed when a config names none: the
+// paper's 2-state protocol.
+const DefaultName = "vmp2"
+
+// registry holds the built-in protocols. It is populated at init time
+// and read-only afterwards, so concurrent Get calls are safe.
+var registry = map[string]Protocol{
+	"vmp2": VMP2{},
+	"vmp3": VMP3{},
+	"rlt":  RLT{},
+}
+
+// Get returns the named protocol ("" selects DefaultName).
+func Get(name string) (Protocol, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	p, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names lists the registered protocol names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,274 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"vmp/internal/busop"
+)
+
+var consistencyOps = []busop.Op{
+	busop.ReadShared, busop.ReadPrivate, busop.AssertOwnership,
+	busop.WriteBack, busop.Notify, busop.ReadExclusive,
+}
+
+// refVMP2 is the Section 3.2 decision table written out longhand, the
+// same reference internal/monitor's model test uses.
+func refVMP2(act Action, op busop.Op, own bool) (abort, interrupt bool) {
+	switch act {
+	case Shared:
+		switch op {
+		case busop.ReadPrivate, busop.AssertOwnership:
+			return false, !own
+		case busop.WriteBack:
+			return true, !own
+		}
+	case Private:
+		if own && op == busop.WriteBack {
+			return false, false
+		}
+		return true, !own
+	case Notify:
+		if op == busop.Notify {
+			return false, !own
+		}
+	}
+	return false, false
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"rlt", "vmp2", "vmp3"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("Get(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if p, err := Get(""); err != nil || p.Name() != DefaultName {
+		t.Errorf("Get(\"\") = %v, %v; want default %q", p, err, DefaultName)
+	}
+	if _, err := Get("mesi"); err == nil {
+		t.Error("Get of unknown protocol did not error")
+	}
+}
+
+func TestVMP2ReactionTable(t *testing.T) {
+	// Exhaustive: every (action, op, own) triple against the reference.
+	for _, act := range []Action{Ignore, Shared, Private, Notify} {
+		for _, op := range consistencyOps {
+			if op == busop.ReadExclusive {
+				continue // vmp2 never sees it
+			}
+			for _, own := range []bool{false, true} {
+				r := VMP2{}.React(act, op, own)
+				wantAbort, wantIntr := refVMP2(act, op, own)
+				if r.Abort != wantAbort || r.Interrupt != wantIntr {
+					t.Errorf("vmp2 React(%v, %v, own=%v) = %+v, want abort=%v intr=%v",
+						act, op, own, r, wantAbort, wantIntr)
+				}
+				if r.Seen {
+					t.Errorf("vmp2 React(%v, %v, own=%v) asserted the shared line", act, op, own)
+				}
+			}
+		}
+	}
+}
+
+func TestVMP3ReactionTable(t *testing.T) {
+	// The ReadExclusive rows differ from vmp2; everything else matches.
+	for _, own := range []bool{false, true} {
+		// Shared entries assert the shared line — the requester's own
+		// entry included, so an aliased fill comes back shared.
+		r := VMP3{}.React(Shared, busop.ReadExclusive, own)
+		if !r.Seen || r.Abort || r.Interrupt {
+			t.Errorf("vmp3 React(Shared, RX, own=%v) = %+v, want Seen only", own, r)
+		}
+		// Private entries compete exactly like vmp2's Private row.
+		r = VMP3{}.React(Private, busop.ReadExclusive, own)
+		if !r.Abort || r.Interrupt != !own || r.Seen {
+			t.Errorf("vmp3 React(Private, RX, own=%v) = %+v", own, r)
+		}
+		// Ignore/Notify entries stay silent.
+		for _, act := range []Action{Ignore, Notify} {
+			if r := (VMP3{}).React(act, busop.ReadExclusive, own); r != (Reaction{}) {
+				t.Errorf("vmp3 React(%v, RX, own=%v) = %+v, want zero", act, own, r)
+			}
+		}
+	}
+	// Non-RX rows delegate to vmp2 verbatim.
+	for _, act := range []Action{Ignore, Shared, Private, Notify} {
+		for _, op := range consistencyOps {
+			if op == busop.ReadExclusive {
+				continue
+			}
+			for _, own := range []bool{false, true} {
+				if got, want := (VMP3{}.React(act, op, own)), (VMP2{}.React(act, op, own)); got != want {
+					t.Errorf("vmp3 React(%v, %v, own=%v) = %+v, want vmp2's %+v", act, op, own, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRLTReactionTable(t *testing.T) {
+	// Identical to vmp2 for foreign transactions; own transactions are
+	// never aborted (synonyms resolve via the RLT, not self-competition).
+	for _, act := range []Action{Ignore, Shared, Private, Notify} {
+		for _, op := range consistencyOps {
+			if op == busop.ReadExclusive {
+				continue
+			}
+			foreign := RLT{}.React(act, op, false)
+			if want := (VMP2{}.React(act, op, false)); foreign != want {
+				t.Errorf("rlt React(%v, %v, foreign) = %+v, want %+v", act, op, foreign, want)
+			}
+			own := RLT{}.React(act, op, true)
+			if own.Abort {
+				t.Errorf("rlt React(%v, %v, own) aborted", act, op)
+			}
+			if want := (VMP2{}.React(act, op, true)); own.Interrupt != want.Interrupt {
+				t.Errorf("rlt React(%v, %v, own) interrupt=%v, want %v", act, op, own.Interrupt, want.Interrupt)
+			}
+		}
+	}
+}
+
+func TestTableUpdate(t *testing.T) {
+	cases := []struct {
+		p          Protocol
+		op         busop.Op
+		downgrade  bool
+		sharedSeen bool
+		want       Action
+		ok         bool
+	}{
+		{VMP2{}, busop.ReadShared, false, false, Shared, true},
+		{VMP2{}, busop.ReadPrivate, false, false, Private, true},
+		{VMP2{}, busop.AssertOwnership, false, false, Private, true},
+		{VMP2{}, busop.WriteBack, false, false, Ignore, true},
+		{VMP2{}, busop.WriteBack, true, false, Shared, true},
+		{VMP2{}, busop.PlainRead, false, false, Ignore, false},
+		{VMP2{}, busop.Notify, false, false, Ignore, false},
+		{VMP3{}, busop.ReadExclusive, false, false, Private, true},
+		{VMP3{}, busop.ReadExclusive, false, true, Shared, true},
+		{VMP3{}, busop.ReadShared, false, false, Shared, true},
+		{RLT{}, busop.ReadPrivate, false, false, Private, true},
+		{RLT{}, busop.WriteBack, true, false, Shared, true},
+	}
+	for _, c := range cases {
+		a, ok := c.p.TableUpdate(c.op, c.downgrade, c.sharedSeen, 0)
+		if ok != c.ok || (ok && a != c.want) {
+			t.Errorf("%s TableUpdate(%v, dg=%v, seen=%v) = (%v, %v), want (%v, %v)",
+				c.p.Name(), c.op, c.downgrade, c.sharedSeen, a, ok, c.want, c.ok)
+		}
+	}
+	for _, p := range []Protocol{VMP2{}, VMP3{}, RLT{}} {
+		wat, ok := p.TableUpdate(busop.WriteActionTable, false, false, uint8(Notify))
+		if !ok || wat != Notify {
+			t.Errorf("%s WriteActionTable update = (%v, %v)", p.Name(), wat, ok)
+		}
+	}
+}
+
+func TestFillPlan(t *testing.T) {
+	cases := []struct {
+		p           Protocol
+		wantPrivate bool
+		op          busop.Op
+		sharedSeen  bool
+		state       PageState
+	}{
+		{VMP2{}, false, busop.ReadShared, false, StateShared},
+		{VMP2{}, false, busop.ReadShared, true, StateShared},
+		{VMP2{}, true, busop.ReadPrivate, false, StatePrivate},
+		{VMP3{}, false, busop.ReadExclusive, false, StatePrivate}, // exclusive-clean grant
+		{VMP3{}, false, busop.ReadExclusive, true, StateShared},   // shared line downgrades
+		{VMP3{}, true, busop.ReadPrivate, false, StatePrivate},
+		{RLT{}, false, busop.ReadShared, false, StateShared},
+		{RLT{}, true, busop.ReadPrivate, false, StatePrivate},
+	}
+	for _, c := range cases {
+		if op := c.p.FillOp(c.wantPrivate); op != c.op {
+			t.Errorf("%s FillOp(%v) = %v, want %v", c.p.Name(), c.wantPrivate, op, c.op)
+		}
+		if st := c.p.FillState(c.op, c.sharedSeen); st != c.state {
+			t.Errorf("%s FillState(%v, seen=%v) = %v, want %v", c.p.Name(), c.op, c.sharedSeen, st, c.state)
+		}
+	}
+	for _, p := range []Protocol{VMP2{}, VMP3{}, RLT{}} {
+		if p.UpgradeOp() != busop.AssertOwnership {
+			t.Errorf("%s UpgradeOp = %v", p.Name(), p.UpgradeOp())
+		}
+	}
+}
+
+func TestWordClass(t *testing.T) {
+	for _, p := range []Protocol{VMP2{}, VMP3{}, RLT{}} {
+		cases := map[busop.Op]WordClass{
+			busop.Notify:          WordNotify,
+			busop.ReadShared:      WordDowngrade,
+			busop.ReadPrivate:     WordRelease,
+			busop.AssertOwnership: WordRelease,
+			busop.WriteBack:       WordWriteBack,
+			busop.PlainRead:       WordNone,
+		}
+		if p.Name() == "vmp3" {
+			// An aborted foreign ReadExclusive is still a read: the holder
+			// downgrades to shared (MESI E/M→S), never fully releases —
+			// otherwise concurrent readers ping-pong exclusive copies.
+			cases[busop.ReadExclusive] = WordDowngrade
+		}
+		for op, want := range cases {
+			if got := p.WordClass(op); got != want {
+				t.Errorf("%s WordClass(%v) = %v, want %v", p.Name(), op, got, want)
+			}
+		}
+	}
+}
+
+func TestProtocolTraits(t *testing.T) {
+	cases := []struct {
+		p           Protocol
+		selfAborts  bool
+		localSyn    bool
+		oracle      OracleSpec
+		latticeSize int
+	}{
+		{VMP2{}, true, false, OracleSpec{}, 2},
+		{VMP3{}, true, false, OracleSpec{StalePrivateOK: true}, 2},
+		{RLT{}, false, true, OracleSpec{AllowSelfOwnedRead: true, StalePrivateOK: true}, 2},
+	}
+	for _, c := range cases {
+		if c.p.SelfAborts() != c.selfAborts {
+			t.Errorf("%s SelfAborts = %v", c.p.Name(), c.p.SelfAborts())
+		}
+		if c.p.LocalSynonyms() != c.localSyn {
+			t.Errorf("%s LocalSynonyms = %v", c.p.Name(), c.p.LocalSynonyms())
+		}
+		if c.p.Oracle() != c.oracle {
+			t.Errorf("%s Oracle = %+v, want %+v", c.p.Name(), c.p.Oracle(), c.oracle)
+		}
+		if len(c.p.Lattice()) != c.latticeSize {
+			t.Errorf("%s Lattice = %v", c.p.Name(), c.p.Lattice())
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Shared.String() != "shared" || Private.String() != "private" ||
+		Ignore.String() != "ignore" || Notify.String() != "notify" {
+		t.Error("Action.String")
+	}
+	if StateShared.String() != "shared" || StatePrivate.String() != "private" {
+		t.Error("PageState.String")
+	}
+	if Action(7).String() == "" || PageState(7).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+}

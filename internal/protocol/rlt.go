@@ -1,0 +1,76 @@
+package protocol
+
+import "vmp/internal/busop"
+
+// RLT is the reverse-lookup-table synonym strategy for virtually
+// tagged caches (Desai & Deshmukh, "Synonym handling for virtually
+// tagged caches", arXiv:2108.00444), grafted onto the paper's 2-state
+// protocol. The bus-visible protocol is vmp2's; what changes is how a
+// board handles a miss on a physical frame it already caches under a
+// different virtual name (a synonym):
+//
+//   - vmp2 lets the miss compete against the board's own monitor on
+//     the bus (self-abort, release, retry) — correct but costly.
+//   - rlt consults the board's frame → cached-slots reverse map (the
+//     RLT the hardware would keep beside the physically-indexed
+//     action table) and attaches the new virtual name to the resident
+//     frame locally: no bus transaction, no self-abort, no release of
+//     a privately held page just to re-acquire it.
+//
+// Consequently the monitor never aborts its own processor's
+// transactions (SelfAborts is false) — by the time a transaction
+// reaches the bus the RLT has already proven the frame absent — and
+// the shadow oracle must accept a ReadShared that completes while the
+// requester itself is still on record as owner (a stale ownership
+// record from a silently resolved synonym; OracleSpec's
+// AllowSelfOwnedRead).
+type RLT struct{}
+
+// Name implements Protocol.
+func (RLT) Name() string { return "rlt" }
+
+// Lattice implements Protocol.
+func (RLT) Lattice() []PageState { return []PageState{StateShared, StatePrivate} }
+
+// React implements Protocol: vmp2's table for foreign transactions;
+// own transactions are never aborted (the RLT already resolved any
+// self-conflict locally, so an own-frame hit here is a stale entry,
+// not a live synonym).
+func (RLT) React(act Action, op busop.Op, own bool) Reaction {
+	r := VMP2{}.React(act, op, own)
+	if own {
+		r.Abort = false
+	}
+	return r
+}
+
+// TableUpdate implements Protocol.
+func (RLT) TableUpdate(op busop.Op, downgrade, sharedSeen bool, action uint8) (Action, bool) {
+	return VMP2{}.TableUpdate(op, downgrade, sharedSeen, action)
+}
+
+// FillOp implements Protocol.
+func (RLT) FillOp(wantPrivate bool) busop.Op { return VMP2{}.FillOp(wantPrivate) }
+
+// FillState implements Protocol.
+func (RLT) FillState(op busop.Op, sharedSeen bool) PageState {
+	return VMP2{}.FillState(op, sharedSeen)
+}
+
+// UpgradeOp implements Protocol.
+func (RLT) UpgradeOp() busop.Op { return busop.AssertOwnership }
+
+// WordClass implements Protocol.
+func (RLT) WordClass(op busop.Op) WordClass { return VMP2{}.WordClass(op) }
+
+// SelfAborts implements Protocol: synonyms are resolved from the RLT,
+// never by competing against oneself.
+func (RLT) SelfAborts() bool { return false }
+
+// LocalSynonyms implements Protocol.
+func (RLT) LocalSynonyms() bool { return true }
+
+// Oracle implements Protocol.
+func (RLT) Oracle() OracleSpec {
+	return OracleSpec{AllowSelfOwnedRead: true, StalePrivateOK: true}
+}

@@ -1,0 +1,117 @@
+package protocol
+
+import "vmp/internal/busop"
+
+// VMP2 is the paper's 2-state (shared/private) distributed-ownership
+// protocol, exactly as Section 3.2 specifies it: a read miss issues
+// ReadShared, a write miss ReadPrivate, a write hit on a shared page
+// AssertOwnership, and the monitor aborts any consistency transaction
+// that touches a page its processor owns — including the processor's
+// own transactions under a different virtual address, which is how
+// aliases are caught ("the processor competes against itself").
+type VMP2 struct{}
+
+// Name implements Protocol.
+func (VMP2) Name() string { return "vmp2" }
+
+// Lattice implements Protocol.
+func (VMP2) Lattice() []PageState { return []PageState{StateShared, StatePrivate} }
+
+// React implements Protocol: the Section 3.2 reaction table.
+func (VMP2) React(act Action, op busop.Op, own bool) Reaction {
+	switch act {
+	case Shared:
+		switch op {
+		case busop.ReadPrivate, busop.AssertOwnership:
+			// Another processor takes ownership: we must discard our
+			// shared copy. Our own read-private over a shared alias is
+			// resolved by the miss handler from local state.
+			return Reaction{Interrupt: !own}
+		case busop.WriteBack:
+			// A write-back of a page we hold shared is a protocol
+			// violation (someone wrote back a page they did not own).
+			return Reaction{Abort: true, Interrupt: !own}
+		}
+	case Private:
+		if own && op == busop.WriteBack {
+			// The owner releasing the page: never aborted.
+			return Reaction{}
+		}
+		// Any consistency-related transaction on a page we own must be
+		// aborted so we can release the page first. This includes our
+		// own transactions under a different virtual address (alias).
+		return Reaction{Abort: true, Interrupt: !own}
+	case Notify:
+		if op == busop.Notify {
+			return Reaction{Interrupt: !own}
+		}
+	}
+	return Reaction{}
+}
+
+// TableUpdate implements Protocol: the overlapped update of Section
+// 3.2 — a successful fill records the granted state, a write-back
+// clears (or downgrades) the entry, and WriteActionTable writes the
+// entry verbatim.
+func (VMP2) TableUpdate(op busop.Op, downgrade, sharedSeen bool, action uint8) (Action, bool) {
+	switch op {
+	case busop.ReadShared:
+		return Shared, true
+	case busop.ReadPrivate, busop.AssertOwnership:
+		return Private, true
+	case busop.WriteBack:
+		if downgrade {
+			return Shared, true
+		}
+		return Ignore, true
+	case busop.WriteActionTable:
+		return Action(action & 3), true
+	}
+	return Ignore, false
+}
+
+// FillOp implements Protocol.
+func (VMP2) FillOp(wantPrivate bool) busop.Op {
+	if wantPrivate {
+		return busop.ReadPrivate
+	}
+	return busop.ReadShared
+}
+
+// FillState implements Protocol: the granted state is exactly what was
+// asked for (the shared line plays no part in vmp2).
+func (VMP2) FillState(op busop.Op, sharedSeen bool) PageState {
+	if op == busop.ReadPrivate || op == busop.AssertOwnership {
+		return StatePrivate
+	}
+	return StateShared
+}
+
+// UpgradeOp implements Protocol.
+func (VMP2) UpgradeOp() busop.Op { return busop.AssertOwnership }
+
+// WordClass implements Protocol.
+func (VMP2) WordClass(op busop.Op) WordClass {
+	switch op {
+	case busop.Notify:
+		return WordNotify
+	case busop.ReadShared:
+		// Someone wants to read a page we hold private: downgrade.
+		return WordDowngrade
+	case busop.ReadPrivate, busop.AssertOwnership:
+		return WordRelease
+	case busop.WriteBack:
+		return WordWriteBack
+	}
+	return WordNone
+}
+
+// SelfAborts implements Protocol: aliases are resolved by competing
+// against oneself on the bus.
+func (VMP2) SelfAborts() bool { return true }
+
+// LocalSynonyms implements Protocol.
+func (VMP2) LocalSynonyms() bool { return false }
+
+// Oracle implements Protocol: the strict contract.
+func (VMP2) Oracle() OracleSpec { return OracleSpec{} }

@@ -1,0 +1,112 @@
+package protocol
+
+import "vmp/internal/busop"
+
+// VMP3 is a MESI-style exclusive-clean refinement of the paper's
+// protocol. A read miss issues ReadExclusive instead of ReadShared:
+// every monitor whose table records the page Shared asserts the bus's
+// shared line, and the fill installs
+//
+//   - a shared copy when the line was asserted (someone else holds the
+//     page), or
+//   - a private-but-clean copy when it was not (the page is nobody
+//     else's): the cache slot carries Exclusive without Modified.
+//
+// A subsequent local write then upgrades silently in the cache — the
+// AssertOwnership transaction (and its abort/interrupt round) that
+// vmp2 pays on every private read-then-write disappears from the bus.
+// The table still records the page Private, so foreign requests abort
+// and get serviced exactly as in vmp2; the refinement is invisible to
+// other boards except as absent traffic.
+//
+// Like vmp2's clean shared pages, an exclusive-clean page is evicted
+// silently (nothing to write back), which leaves a stale Private table
+// entry; the miss handler already clears stale entries on its
+// self-abort path, and the shadow oracle accepts them via
+// OracleSpec.StalePrivateOK.
+type VMP3 struct{}
+
+// Name implements Protocol.
+func (VMP3) Name() string { return "vmp3" }
+
+// Lattice implements Protocol: shared and private, with private
+// refined by the cache's clean/dirty flag into exclusive-clean vs
+// owned-dirty.
+func (VMP3) Lattice() []PageState { return []PageState{StateShared, StatePrivate} }
+
+// React implements Protocol: vmp2's table plus the ReadExclusive rows.
+func (VMP3) React(act Action, op busop.Op, own bool) Reaction {
+	if act == Shared && op == busop.ReadExclusive {
+		// Assert the shared line so the requester's grant is downgraded
+		// to a shared copy. The requester's own stale or aliased Shared
+		// entry counts too: its fill must then come back shared, which
+		// keeps a multi-slot (aliased) frame consistently shared.
+		return Reaction{Seen: true}
+	}
+	// Private + ReadExclusive falls through to vmp2's Private row: an
+	// exclusive read of a page somebody owns competes like any other
+	// consistency transaction (abort, release, retry).
+	return VMP2{}.React(act, op, own)
+}
+
+// TableUpdate implements Protocol: ReadExclusive records the granted
+// state — Shared when the line was asserted, Private otherwise.
+func (VMP3) TableUpdate(op busop.Op, downgrade, sharedSeen bool, action uint8) (Action, bool) {
+	if op == busop.ReadExclusive {
+		if sharedSeen {
+			return Shared, true
+		}
+		return Private, true
+	}
+	return VMP2{}.TableUpdate(op, downgrade, sharedSeen, action)
+}
+
+// FillOp implements Protocol: read misses probe for exclusivity.
+func (VMP3) FillOp(wantPrivate bool) busop.Op {
+	if wantPrivate {
+		return busop.ReadPrivate
+	}
+	return busop.ReadExclusive
+}
+
+// FillState implements Protocol.
+func (VMP3) FillState(op busop.Op, sharedSeen bool) PageState {
+	if op == busop.ReadExclusive {
+		if sharedSeen {
+			return StateShared
+		}
+		return StatePrivate
+	}
+	return VMP2{}.FillState(op, sharedSeen)
+}
+
+// UpgradeOp implements Protocol: upgrades from a genuinely shared page
+// still pay the AssertOwnership transaction.
+func (VMP3) UpgradeOp() busop.Op { return busop.AssertOwnership }
+
+// WordClass implements Protocol: a foreign ReadExclusive that aborted
+// against our ownership is still just a READ — downgrade to a shared
+// copy (write back if dirty) rather than releasing the page. The
+// retrying requester then sees our Shared entry assert the line and
+// fills shared, exactly like MESI's E/M→S on a read snoop. Releasing
+// instead would hand the requester an exclusive-clean copy, and under
+// read contention the page ping-pongs between exclusive holders with
+// the shared line never asserted — concurrent readers (a TTAS spin
+// loop, say) degenerate into the private-steal storm the shared state
+// exists to avoid, starving any writer trying to get a word in.
+func (VMP3) WordClass(op busop.Op) WordClass {
+	if op == busop.ReadExclusive {
+		return WordDowngrade
+	}
+	return VMP2{}.WordClass(op)
+}
+
+// SelfAborts implements Protocol.
+func (VMP3) SelfAborts() bool { return true }
+
+// LocalSynonyms implements Protocol.
+func (VMP3) LocalSynonyms() bool { return false }
+
+// Oracle implements Protocol: silent exclusive-clean evictions leave
+// stale Private entries the oracle must tolerate.
+func (VMP3) Oracle() OracleSpec { return OracleSpec{StalePrivateOK: true} }

@@ -29,6 +29,7 @@ import (
 	"vmp/internal/core"
 	"vmp/internal/fault"
 	"vmp/internal/obs"
+	"vmp/internal/protocol"
 	"vmp/internal/sim"
 	"vmp/internal/workload"
 )
@@ -58,6 +59,11 @@ type Spec struct {
 	// region, notification dispatch) and optionally a round-robin
 	// scheduler per board.
 	Kernel *KernelSpec `json:"kernel,omitempty"`
+	// Protocol selects the coherence protocol by registry name ("vmp2",
+	// "vmp3", "rlt"). Empty or "vmp2" normalizes to empty: the default
+	// protocol adds nothing to the canonical form, so pre-existing spec
+	// fingerprints are unchanged.
+	Protocol string `json:"protocol,omitempty"`
 	// Faults is a fault-injection plan in internal/fault's textual form,
 	// e.g. "abort=0.05,copy=0.02,fifo=2,storm=0.1,flip=0.02". Empty or
 	// "none" injects nothing.
@@ -263,6 +269,15 @@ func (s *Spec) Normalize() error {
 		}
 	}
 
+	// Canonicalize the protocol: the default protocol is spelled "" so
+	// it stays out of the canonical JSON (fingerprint compatibility).
+	if s.Protocol == protocol.DefaultName {
+		s.Protocol = ""
+	}
+	if _, err := protocol.Get(s.Protocol); err != nil {
+		return err
+	}
+
 	// Canonicalize the fault plan through the fault package's own
 	// round-trip, so equivalent plans fingerprint identically.
 	fs, err := fault.Parse(s.Faults)
@@ -308,6 +323,9 @@ func (ms MachineSpec) Config() core.Config {
 // plus fault plan, watchdog and observability sink.
 func (s *Spec) config() (core.Config, error) {
 	cfg := s.Machine.Config()
+	if s.Protocol != "" {
+		cfg.Protocol = s.Protocol
+	}
 	fs, err := fault.Parse(s.Faults)
 	if err != nil {
 		return cfg, err

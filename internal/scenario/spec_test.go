@@ -135,6 +135,49 @@ func TestNormalizeCanonicalizesFaults(t *testing.T) {
 	}
 }
 
+// TestNormalizeProtocol pins the protocol field's canonicalization:
+// the default spelling drops out of the canonical form (so historical
+// fingerprints are stable), variants survive normalization and move
+// the fingerprint, and unknown names are rejected.
+func TestNormalizeProtocol(t *testing.T) {
+	def := Spec{Protocol: "vmp2"}
+	if err := def.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if def.Protocol != "" {
+		t.Errorf("Protocol = %q after normalizing the default, want empty", def.Protocol)
+	}
+	fpEmpty, err := Spec{}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpDefault, err := Spec{Protocol: "vmp2"}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpEmpty != fpDefault {
+		t.Errorf("explicit default protocol changed the fingerprint: %s vs %s", fpDefault, fpEmpty)
+	}
+	fp3, err := Spec{Protocol: "vmp3"}.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fpEmpty {
+		t.Error("protocol vmp3 did not change the fingerprint")
+	}
+	v := Spec{Protocol: "rlt"}
+	if err := v.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Protocol != "rlt" {
+		t.Errorf("Protocol = %q after normalizing rlt", v.Protocol)
+	}
+	bad := Spec{Protocol: "mesi"}
+	if err := bad.Normalize(); err == nil {
+		t.Error("Normalize accepted unknown protocol")
+	}
+}
+
 // TestFingerprintSensitivity checks the fingerprint moves with meaning
 // and stays put without it.
 func TestFingerprintSensitivity(t *testing.T) {
