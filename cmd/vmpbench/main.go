@@ -16,6 +16,9 @@
 //	                         # fault injection + invariant watchdog
 //	vmpbench -sweep grid.json -out sweep.json
 //	                         # expand a scenario grid and run every cell
+//	vmpbench -sweep grid.json -remote http://localhost:8347
+//	                         # run the sweep on a vmpd daemon; repeat
+//	                         # submissions come back as cache hits
 //	vmpbench -bench BENCH_6.json
 //	                         # hot-path benchmark snapshot (perf trajectory)
 //
@@ -27,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -39,6 +43,7 @@ import (
 	"vmp/internal/fault"
 	"vmp/internal/perf"
 	"vmp/internal/scenario"
+	"vmp/internal/serve"
 	"vmp/internal/stats"
 )
 
@@ -56,6 +61,7 @@ func main() {
 		check   = flag.Bool("check", false, "enable the protocol invariant watchdog on every machine")
 		sweep   = flag.String("sweep", "", "expand and run the scenario.Grid in this JSON file instead of the experiment registry")
 		outFile = flag.String("out", "", "with -sweep: write the machine-readable per-cell results to this JSON file")
+		remote  = flag.String("remote", "", "with -sweep: submit to the vmpd daemon at this base URL instead of running locally")
 		bench   = flag.String("bench", "", "collect the hot-path benchmark snapshot and write it to this JSON file (e.g. BENCH_6.json)")
 	)
 	flag.Parse()
@@ -66,7 +72,11 @@ func main() {
 	}
 
 	if *sweep != "" {
-		runSweep(*sweep, *outFile, *workers)
+		if *remote != "" {
+			runRemoteSweep(*sweep, *outFile, *remote)
+		} else {
+			runSweep(*sweep, *outFile, *workers)
+		}
 		return
 	}
 
@@ -174,7 +184,78 @@ func runSweep(gridPath, outPath string, workers int) {
 		fmt.Fprintln(os.Stderr, "vmpbench:", err)
 		os.Exit(1)
 	}
+	finishSweep(res, outPath, start)
+}
 
+// runRemoteSweep submits the grid to a vmpd daemon and assembles the
+// sweep from the daemon's content-addressed result store. A grid the
+// daemon has seen before comes back without any computation.
+func runRemoteSweep(gridPath, outPath, baseURL string) {
+	g, err := scenario.ReadGridFile(gridPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	c := serve.NewClient(baseURL)
+	start := time.Now()
+	sub, err := c.SubmitGrid(ctx, *g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpbench:", err)
+		os.Exit(1)
+	}
+
+	var res *scenario.SweepResult
+	if sub.Sweep != nil {
+		fmt.Printf("daemon answered %d cell(s) from cache\n", sub.CachedCells)
+		res = sub.Sweep
+	} else {
+		fmt.Printf("daemon accepted job %s: %d cell(s), %d already cached\n", sub.Job, sub.Cells, sub.CachedCells)
+		// Follow the NDJSON progress stream, then fetch each cell's
+		// stored record by fingerprint.
+		if err := c.Events(ctx, sub.Job, func(ev serve.JobEvent) {
+			if ev.Kind == "cell" {
+				status := "computed"
+				if ev.Cached {
+					status = "cached"
+				}
+				if ev.Err != "" {
+					status = "FAILED: " + ev.Err
+				}
+				fmt.Printf("  cell %s (%s): %s\n", ev.Cell, ev.Fingerprint, status)
+			}
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "vmpbench: event stream:", err)
+		}
+		v, err := c.WaitJob(ctx, sub.Job)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmpbench:", err)
+			os.Exit(1)
+		}
+		if v.State != serve.JobDone {
+			fmt.Fprintf(os.Stderr, "vmpbench: remote job %s %s: %s\n", v.ID, v.State, v.Err)
+			if v.Dump != "" {
+				fmt.Fprintln(os.Stderr, v.Dump)
+			}
+			os.Exit(1)
+		}
+		res = &scenario.SweepResult{Name: g.Name, Cells: make([]scenario.CellResult, 0, len(sub.Fingerprints))}
+		for _, fp := range sub.Fingerprints {
+			cr, err := c.CellResult(ctx, fp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vmpbench: fetching %s: %v\n", fp, err)
+				os.Exit(1)
+			}
+			res.Cells = append(res.Cells, *cr)
+		}
+	}
+	finishSweep(res, outPath, start)
+}
+
+// finishSweep prints the per-cell table, writes the artifact, and exits
+// non-zero on any cell failure — shared by local and remote sweeps so
+// both render identically.
+func finishSweep(res *scenario.SweepResult, outPath string, start time.Time) {
 	t := stats.NewTable(fmt.Sprintf("Sweep %s: %d cells", res.Name, len(res.Cells)),
 		"Cell", "Fingerprint", "Sim (ms)", "Refs", "Miss (%)", "Bus (%)", "Retries", "Violations", "Status")
 	for _, c := range res.Cells {

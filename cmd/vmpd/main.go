@@ -1,0 +1,122 @@
+// Command vmpd is the simulation daemon: a long-running HTTP/JSON
+// service that accepts scenario Specs and Grids, normalizes them into
+// content fingerprints, schedules misses on the sweep worker pool and
+// answers repeats from a crash-safe on-disk result store. Because a
+// spec's fingerprint determines its result byte-for-byte, a result
+// computed once is served forever.
+//
+// Usage:
+//
+//	vmpd                             # listen on :8347, store in ./vmpd-store
+//	vmpd -listen :9000 -store /var/lib/vmpd
+//	vmpd -workers 8 -queue 32        # sweep parallelism / backpressure bound
+//	vmpd -quota-rate 5 -quota-burst 10
+//	vmpd -budget 2m -max-budget 10m  # per-job wall-clock budgets
+//	vmpd -shed                       # start in load-shedding mode
+//
+// Endpoints:
+//
+//	POST /v1/specs       submit one Spec  (?wait=1 blocks for the result,
+//	                     ?budget_ms= overrides the job budget)
+//	POST /v1/grids       submit a Grid sweep
+//	GET  /v1/results/{fp}   fetch a stored record by fingerprint
+//	GET  /v1/jobs/{id}      job snapshot
+//	GET  /v1/jobs/{id}/events   NDJSON progress stream
+//	DELETE /v1/jobs/{id}    cancel a job
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /statsz         queue, quota, cache and store-integrity counters
+//
+// Admission control: a bounded submission queue plus per-client token
+// buckets (X-Client-ID header); both shed with 429 + Retry-After.
+// SIGTERM/SIGINT drains in-flight jobs under -drain-timeout before
+// exiting; a second signal exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmp/internal/serve"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8347", "HTTP listen address")
+		storeDir     = flag.String("store", "vmpd-store", "result store directory")
+		workers      = flag.Int("workers", 0, "cell concurrency inside a job (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 16, "submission queue depth (backpressure bound)")
+		quotaRate    = flag.Float64("quota-rate", 5, "per-client admissions per second")
+		quotaBurst   = flag.Float64("quota-burst", 10, "per-client admission burst")
+		budget       = flag.Duration("budget", 2*time.Minute, "default per-job wall-clock budget")
+		maxBudget    = flag.Duration("max-budget", 10*time.Minute, "cap on client-requested job budgets")
+		maxCells     = flag.Int("max-cells", 1024, "largest accepted grid expansion")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+		shed         = flag.Bool("shed", false, "start in load-shedding mode (cache hits only)")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		StoreDir:     *storeDir,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		QuotaRate:    *quotaRate,
+		QuotaBurst:   *quotaBurst,
+		JobBudget:    *budget,
+		MaxJobBudget: *maxBudget,
+		MaxCells:     *maxCells,
+		Shed:         *shed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpd:", err)
+		os.Exit(1)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "vmpd: store %s: %d quarantined, %d partials recovered at startup\n",
+		*storeDir, st.Store.Quarantined, st.Store.RecoveredPartials)
+
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "vmpd: listening on %s\n", *listen)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "vmpd:", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "vmpd: %s: draining (deadline %s; signal again to exit now)\n", sig, *drainTimeout)
+	}
+
+	// Drain: refuse new work, let in-flight jobs finish under the
+	// deadline, then cancel stragglers. A second signal skips straight
+	// to the hard stop.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "vmpd: second signal, exiting now")
+		cancel()
+	}()
+	drainErr := srv.Drain(drainCtx)
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	hs.Shutdown(shutCtx)
+	srv.Close()
+
+	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "vmpd: drain cut short: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "vmpd: drained cleanly")
+}

@@ -21,10 +21,15 @@
 //	vmpsim -procs 4 -phases -hotpages 10     # phase latencies + hot pages
 //
 // The process exits non-zero when the shadow checker reports an
-// invariant violation or any board observes a protocol violation.
+// invariant violation or any board observes a protocol violation. A
+// simulator fault (e.g. the livelock watchdog's hard limit) is
+// contained: the flight-recorder dump is written to a file, its path
+// printed, and the process exits non-zero — no raw goroutine trace.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -117,8 +122,21 @@ func main() {
 		return
 	}
 
-	res, err := scenario.Run(*spec)
+	// RunGuarded contains simulator faults (livelock hard limits,
+	// invariant panics) instead of letting them unwind to a raw
+	// goroutine trace.
+	res, err := scenario.RunGuarded(context.Background(), *spec)
 	if err != nil {
+		var pe *scenario.PanicError
+		if errors.As(err, &pe) {
+			fmt.Fprintf(os.Stderr, "vmpsim: simulator fault in %s: %s\n", pe.Name, pe.Message)
+			if path, werr := writeFaultDump(pe); werr == nil {
+				fmt.Fprintf(os.Stderr, "vmpsim: flight-recorder dump written to %s\n", path)
+			} else {
+				fmt.Fprintf(os.Stderr, "vmpsim: could not write dump file: %v\n", werr)
+			}
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	m := res.Machine
@@ -139,7 +157,10 @@ func main() {
 		}
 	}
 	if *dumpOnExit {
-		sink.AutoDump("dump-on-exit requested")
+		// The dump goes to stderr explicitly: under RunGuarded the sink's
+		// automatic dump target is a capture buffer reserved for faults.
+		fmt.Fprintln(os.Stderr, "=== FLIGHT RECORDER DUMP: dump-on-exit requested ===")
+		sink.DumpRing(os.Stderr)
 	}
 
 	if len(res.Violations) != 0 {
@@ -227,4 +248,22 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vmpsim:", err)
 	os.Exit(1)
+}
+
+// writeFaultDump persists a contained fault's flight-recorder dump and
+// panic stack next to the working directory, named by the scenario
+// fingerprint so repeated runs of the same spec overwrite rather than
+// accumulate.
+func writeFaultDump(pe *scenario.PanicError) (string, error) {
+	name := pe.Fingerprint
+	if name == "" {
+		name = "unknown"
+	}
+	path := fmt.Sprintf("vmpsim-fault-%s.dump", name)
+	body := fmt.Sprintf("scenario: %s\nfingerprint: %s\nfault: %s\n\n%s\n--- panic stack ---\n%s\n",
+		pe.Name, pe.Fingerprint, pe.Message, pe.Dump, pe.Stack)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -158,7 +159,30 @@ type Machine struct {
 
 	activeDrivers int
 	finishTimes   map[int]sim.Time
+
+	// runCtx, when set, is the context Run itself honors (see
+	// SetContext); nil means Run never cancels.
+	runCtx context.Context
 }
+
+// Canceled is the panic value Run raises when the context installed by
+// SetContext fires mid-run. It exists for call sites that cannot plumb
+// an error return through their driver structure (the experiments
+// registry): the run layer recovers it at its own boundary and turns
+// it back into the context's error. Code that can handle errors
+// normally should call RunCtx instead.
+type Canceled struct{ Err error }
+
+// Error implements error.
+func (c Canceled) Error() string { return "core: run canceled: " + c.Err.Error() }
+
+// SetContext installs ctx as the default run context: every subsequent
+// Run behaves like RunCtx(ctx), except that cancellation surfaces as a
+// Canceled panic (Run's signature has no error). Use it to thread
+// cancellation through drivers that call Run deep inside otherwise
+// error-free code paths; pair it with a recover boundary that unwraps
+// Canceled.
+func (m *Machine) SetContext(ctx context.Context) { m.runCtx = ctx }
 
 // NewMachine builds the machine: engine, bus, memory, VM, and one board
 // (cache + monitor + copier) per processor.
@@ -413,9 +437,45 @@ func (m *Machine) driverDone(boardID int, p *sim.Process) {
 }
 
 // Run executes the simulation until all drivers finish and every bus
-// monitor FIFO is drained, then returns the final simulated time.
+// monitor FIFO is drained, then returns the final simulated time. When
+// a context installed via SetContext fires mid-run, Run panics with
+// Canceled (see SetContext).
 func (m *Machine) Run() sim.Time {
+	ctx := m.runCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t, err := m.RunCtx(ctx)
+	if err != nil {
+		panic(Canceled{Err: err})
+	}
+	return t
+}
+
+// cancelCheckEvery is how many fired events pass between polls of the
+// run context in RunCtx. Polling is cheap (one closure call) but not
+// free; at thousands of events per simulated microsecond this bounds
+// cancellation latency to well under a wall-clock millisecond.
+const cancelCheckEvery = 4096
+
+// RunCtx is Run with a cancellation context. A context that is
+// cancelled (or whose deadline passes) stops the event loop promptly,
+// unwinds every live process coroutine so no goroutines leak, and
+// returns the context's error; the machine's simulated state is
+// abandoned mid-flight and must not be summarized. A context that
+// never fires leaves the run byte-identical to plain Run: the cancel
+// probe observes the simulation but never influences it.
+func (m *Machine) RunCtx(ctx context.Context) (sim.Time, error) {
+	cancellable := ctx != nil && ctx.Done() != nil
+	if cancellable {
+		m.Eng.SetCancelCheck(cancelCheckEvery, func() bool { return ctx.Err() != nil })
+		defer m.Eng.SetCancelCheck(0, nil)
+	}
 	m.Eng.Run()
+	if cancellable && ctx.Err() != nil {
+		m.Eng.KillProcesses()
+		return m.Eng.Now(), ctx.Err()
+	}
 	// Final drain: the last transactions may have posted words to
 	// boards whose idle loops had already exited.
 	for pass := 0; pass < 4 && m.pendingWords(); pass++ {
@@ -426,8 +486,12 @@ func (m *Machine) Run() sim.Time {
 			})
 		}
 		m.Eng.Run()
+		if cancellable && ctx.Err() != nil {
+			m.Eng.KillProcesses()
+			return m.Eng.Now(), ctx.Err()
+		}
 	}
-	return m.Eng.Now()
+	return m.Eng.Now(), nil
 }
 
 func (m *Machine) pendingWords() bool {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunAllCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := DefaultOptions()
+	o.Quick = true
+	results, err := RunAllCtx(ctx, o, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAllCtx error = %v, want context.Canceled somewhere in the join", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("%d experiments completed under a pre-cancelled context", len(results))
+	}
+}
+
+func TestRunAllCtxDeadlineStopsMidFlight(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	o := DefaultOptions()
+	o.Quick = true
+	start := time.Now()
+	_, err := RunAllCtx(ctx, o, 2)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunAllCtx error = %v, want context.DeadlineExceeded in the join", err)
+	}
+	// A full quick run takes several seconds; a cancelled one must stop
+	// well before that. Generous bound to stay CI-safe.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v; cancellation did not propagate", elapsed)
+	}
+}
+
+func TestRunCtxSingleExperimentUnfiredContextMatchesRun(t *testing.T) {
+	o := DefaultOptions()
+	o.Quick = true
+	plain, err := Run("table2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o2 := o
+	o2.ctx = ctx
+	withCtx, err := runOne(byID["table2"], o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Table.String() != withCtx.Table.String() {
+		t.Fatalf("table diverged with an unfired context:\n%s\nvs\n%s",
+			plain.Table.String(), withCtx.Table.String())
+	}
+}

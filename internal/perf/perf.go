@@ -20,6 +20,7 @@ package perf
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"vmp/internal/cache"
 	"vmp/internal/monitor"
 	"vmp/internal/scenario"
+	"vmp/internal/serve"
 	"vmp/internal/sim"
 	"vmp/internal/workload"
 )
@@ -133,6 +135,8 @@ func Collect() (*Snapshot, error) {
 		{"bus/transaction", benchBus},
 		{"cache/lookup", benchCache},
 		{"monitor/check", benchMonitor},
+		{"serve/store-put", benchStorePut},
+		{"serve/store-get", benchStoreGet},
 	} {
 		r := testing.Benchmark(mb.fn)
 		s.Micro = append(s.Micro, Micro{
@@ -201,6 +205,78 @@ func benchCache(b *testing.B) {
 		r := refs[i%len(refs)]
 		if _, res := c.Lookup(r.ASID, r.VAddr, cache.Access{Write: r.IsWrite(), Super: r.Super}); res == cache.Miss {
 			c.Fill(c.SuggestVictim(r.VAddr), r.ASID, r.VAddr, cache.UserRead|cache.UserWrite|cache.SupWrite)
+		}
+	}
+}
+
+// benchFingerprints yields n distinct well-formed fingerprints.
+func benchFingerprints(n int) []string {
+	fps := make([]string, n)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("%016x", uint64(i)*2654435761+11)
+	}
+	return fps
+}
+
+// benchStorePayload is a realistic stored-record size: a marshaled
+// CellResult is on the order of a kilobyte.
+func benchStorePayload() []byte {
+	p := make([]byte, 1024)
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return p
+}
+
+// benchStorePut measures the daemon result store's durable write path:
+// temp file, payload + checksum trailer, fsync, atomic rename, dirsync.
+// Dominated by fsync, so this is really a disk figure — but it is the
+// daemon's per-computed-cell overhead, which is why it is tracked.
+func benchStorePut(b *testing.B) {
+	dir, err := os.MkdirTemp("", "vmp-bench-store")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := serve.OpenStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fps := benchFingerprints(256)
+	payload := benchStorePayload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Put(fps[i%len(fps)], payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchStoreGet measures the verified read path: file read plus
+// checksum verification — the daemon's per-cache-hit cost.
+func benchStoreGet(b *testing.B) {
+	dir, err := os.MkdirTemp("", "vmp-bench-store")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := serve.OpenStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fps := benchFingerprints(256)
+	payload := benchStorePayload()
+	for _, fp := range fps {
+		if err := st.Put(fp, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(fps[i%len(fps)]); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,7 +1,10 @@
 package scenario
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -81,6 +84,89 @@ type BoardSummary struct {
 // many runs proceed concurrently, because each run owns its engine and
 // every stochastic stream is seeded from the spec.
 func Run(spec Spec) (*RunResult, error) {
+	return run(context.Background(), spec, nil, nil)
+}
+
+// RunCtx is Run with a cancellation context: a cancelled or expired
+// context stops the simulation promptly (unwinding its coroutines) and
+// returns the context's error. A context that never fires leaves the
+// result byte-identical to Run.
+func RunCtx(ctx context.Context, spec Spec) (*RunResult, error) {
+	return run(ctx, spec, nil, nil)
+}
+
+// PanicError is a simulator fault contained by RunGuarded: the panic
+// message, the flight-recorder dump captured at the moment of the
+// fault (when the spec had observability on), and the panicking
+// process's stack when the fault originated inside a simulated
+// process. It is an error, so guarded callers handle faults and
+// ordinary spec rejections through one path while still being able to
+// errors.As out the dump.
+type PanicError struct {
+	// Name is the normalized spec name, "" if the fault predates
+	// normalization.
+	Name string `json:"name,omitempty"`
+	// Fingerprint identifies the spec whose run faulted, "" if the
+	// fault predates fingerprinting.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Message is the panic value, rendered.
+	Message string `json:"message"`
+	// Dump is the flight-recorder dump emitted during the faulting run.
+	Dump string `json:"dump,omitempty"`
+	// Stack is the panicking goroutine's stack when the fault came from
+	// a simulated process body.
+	Stack string `json:"stack,omitempty"`
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("scenario %q: simulator fault: %s", e.Name, e.Message)
+	}
+	return "scenario: simulator fault: " + e.Message
+}
+
+// RunGuarded is RunCtx behind a panic-isolating boundary: a simulator
+// fault (a livelock hard limit, a protocol assertion) comes back as a
+// *PanicError carrying the flight-recorder dump instead of unwinding
+// the caller. The fault leaves no goroutines behind — the engine's
+// process coroutines are killed before returning — so a long-running
+// caller (the vmpd job runner) survives arbitrarily faulty specs.
+func RunGuarded(ctx context.Context, spec Spec) (res *RunResult, err error) {
+	var dump bytes.Buffer
+	var rs runState
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if rs.machine != nil {
+			rs.machine.Eng.KillProcesses()
+		}
+		pe := &PanicError{Name: rs.name, Fingerprint: rs.fingerprint, Dump: dump.String()}
+		if pp, ok := r.(*sim.ProcessPanic); ok {
+			pe.Message = pp.String()
+			pe.Stack = string(pp.Stack)
+		} else {
+			pe.Message = fmt.Sprint(r)
+		}
+		res, err = nil, pe
+	}()
+	return run(ctx, spec, &dump, &rs)
+}
+
+// runState lets run report partial progress back to RunGuarded's
+// recover boundary, which cannot see run's locals after a panic.
+type runState struct {
+	name        string
+	fingerprint string
+	machine     *core.Machine
+}
+
+// run is the shared scenario executor. dumpTo, when non-nil, overrides
+// the flight-recorder dump destination (default stderr); rs, when
+// non-nil, receives progress markers for the guarded recover path.
+func run(ctx context.Context, spec Spec, dumpTo io.Writer, rs *runState) (*RunResult, error) {
 	sp, err := spec.clone() // normalize a copy; the caller's spec is left alone
 	if err != nil {
 		return nil, err
@@ -93,13 +179,22 @@ func Run(spec Spec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rs != nil {
+		rs.name, rs.fingerprint = s.Name, fp
+	}
 	cfg, err := s.config()
 	if err != nil {
 		return nil, err
 	}
+	if dumpTo != nil {
+		cfg.Obs.DumpTo = dumpTo
+	}
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if rs != nil {
+		rs.machine = m
 	}
 
 	var asmErrs []error
@@ -108,16 +203,20 @@ func Run(spec Spec) (*RunResult, error) {
 	case WorkloadNone:
 	case WorkloadAsm:
 		if err := attachAsm(m, &s, &asmErrs); err != nil {
+			m.Eng.KillProcesses()
 			return nil, err
 		}
 	default:
 		sched, err = attachTraces(m, &s)
 		if err != nil {
+			m.Eng.KillProcesses()
 			return nil, err
 		}
 	}
 
-	m.Run()
+	if _, err := m.RunCtx(ctx); err != nil {
+		return nil, err
+	}
 	for _, e := range asmErrs {
 		if e != nil {
 			return nil, fmt.Errorf("scenario %q: asm workload: %w", s.Name, e)

@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -18,6 +20,18 @@ type RunOptions struct {
 	// Progress, when non-nil, receives each cell's name as it completes
 	// (called from worker goroutines, completion order).
 	Progress func(name string) `json:"-"`
+	// Ctx cancels the sweep: workers stop claiming cells, in-flight
+	// cells stop promptly, and the sweep returns the context's error
+	// alongside the partial results. Nil means never cancelled. A
+	// context that never fires cannot change any cell's bytes.
+	Ctx context.Context `json:"-"`
+	// Guard runs each cell behind scenario.RunGuarded, converting a
+	// simulator panic into that cell's Err/Dump instead of crashing the
+	// whole sweep. Guarding a panic-free sweep changes nothing.
+	Guard bool `json:"-"`
+	// CellDone, when non-nil, receives each completed cell result
+	// (called from worker goroutines, completion order).
+	CellDone func(cr CellResult) `json:"-"`
 }
 
 // CellResult is one grid point's machine-readable outcome —
@@ -32,6 +46,9 @@ type CellResult struct {
 	Violations []string `json:"violations,omitempty"`
 	// Err is set when the cell failed to run at all.
 	Err string `json:"error,omitempty"`
+	// Dump is the flight-recorder dump attached to a guarded cell whose
+	// simulator panicked (see RunOptions.Guard); empty otherwise.
+	Dump string `json:"dump,omitempty"`
 }
 
 // SweepResult is the artifact a grid run emits.
@@ -49,7 +66,24 @@ func RunGrid(g *Grid, opts RunOptions) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{Name: g.Name, Cells: make([]CellResult, len(cells))}
+	res, err := RunCells(g.Name, cells, opts)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunCells runs an already-expanded cell list, Workers at a time (the
+// body of RunGrid, exposed so the serving layer can schedule cells it
+// validated itself). When opts.Ctx is cancelled it returns the partial
+// results together with the context's error: completed cells are
+// intact, unfinished ones carry the cancellation in Err.
+func RunCells(name string, cells []Cell, opts RunOptions) (*SweepResult, error) {
+	res := &SweepResult{Name: name, Cells: make([]CellResult, len(cells))}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	workers := opts.Workers
 	if workers < 1 {
@@ -71,9 +105,25 @@ func RunGrid(g *Grid, opts RunOptions) (*SweepResult, error) {
 					return
 				}
 				cr := CellResult{Name: cells[i].Name, Spec: cells[i].Spec}
-				rr, err := Run(cells[i].Spec)
+				if err := ctx.Err(); err != nil {
+					cr.Err = err.Error()
+					res.Cells[i] = cr
+					continue
+				}
+				var rr *RunResult
+				var err error
+				if opts.Guard {
+					rr, err = RunGuarded(ctx, cells[i].Spec)
+				} else {
+					rr, err = RunCtx(ctx, cells[i].Spec)
+				}
 				if err != nil {
 					cr.Err = err.Error()
+					var pe *PanicError
+					if errors.As(err, &pe) {
+						cr.Fingerprint = pe.Fingerprint
+						cr.Dump = pe.Dump
+					}
 				} else {
 					cr.Fingerprint = rr.Fingerprint
 					cr.Spec = rr.Spec
@@ -84,11 +134,14 @@ func RunGrid(g *Grid, opts RunOptions) (*SweepResult, error) {
 				if opts.Progress != nil {
 					opts.Progress(cr.Name)
 				}
+				if opts.CellDone != nil {
+					opts.CellDone(cr)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return res, nil
+	return res, ctx.Err()
 }
 
 // Failures counts cells that errored or reported violations.

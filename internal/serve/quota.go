@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxQuotaClients bounds the per-client bucket map: past this, idle
+// (fully refilled) buckets are pruned on the next Allow, so an
+// adversary cycling client IDs cannot grow server memory without
+// bound.
+const maxQuotaClients = 4096
+
+// quotaBucket is one client's token bucket.
+type quotaBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Quotas is a per-client token-bucket admission filter: each client id
+// accumulates rate tokens per second up to burst, and every admitted
+// submission spends one. The zero client id is legal (anonymous
+// clients share one bucket).
+type Quotas struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	clients map[string]*quotaBucket
+	// now is the clock, injectable so tests need no sleeping.
+	now func() time.Time
+}
+
+// NewQuotas builds a quota filter granting rate tokens/second with the
+// given burst capacity. rate must be positive; burst < 1 normalizes to
+// 1 (a bucket that can never admit is useless).
+func NewQuotas(rate, burst float64) *Quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Quotas{
+		rate:    rate,
+		burst:   burst,
+		clients: make(map[string]*quotaBucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token from client's bucket. When the bucket is
+// empty it reports false plus how long until one token accrues — the
+// Retry-After the handler returns with the 429.
+func (q *Quotas) Allow(client string) (bool, time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+
+	b := q.clients[client]
+	if b == nil {
+		if len(q.clients) >= maxQuotaClients {
+			q.pruneLocked(now)
+		}
+		b = &quotaBucket{tokens: q.burst, last: now}
+		q.clients[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	retry := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	if retry < time.Second {
+		retry = time.Second // Retry-After is whole seconds; round up
+	}
+	return false, retry
+}
+
+// pruneLocked drops buckets that have fully refilled — clients idle
+// long enough that forgetting them is indistinguishable from
+// remembering them.
+func (q *Quotas) pruneLocked(now time.Time) {
+	for id, b := range q.clients {
+		if b.tokens+now.Sub(b.last).Seconds()*q.rate >= q.burst {
+			delete(q.clients, id)
+		}
+	}
+}
+
+// Clients reports the number of tracked client buckets.
+func (q *Quotas) Clients() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.clients)
+}

@@ -110,6 +110,23 @@ type Engine struct {
 
 	metrics Metrics
 	rec     *stats.Recorder
+
+	// procPanic transports a panic out of a process body (which runs on
+	// its own goroutine) back onto the engine goroutine: the process
+	// wrapper records it here, and the step handshake re-panics with it
+	// so callers of Run can recover simulator faults with an ordinary
+	// defer (see Process and ProcessPanic).
+	procPanic *ProcessPanic
+	// plist registers every spawned process so KillProcesses can unwind
+	// the ones still parked in the coroutine handshake.
+	plist []*Process
+
+	// checkEvery/checkFn implement the host-side cancellation probe
+	// installed by SetCancelCheck. checkFn never influences a run that
+	// it does not stop, so installing it cannot change simulated
+	// behavior.
+	checkEvery uint64
+	checkFn    func() bool
 }
 
 // NewEngine returns a new engine with the clock at zero and the event
@@ -241,6 +258,22 @@ func (e *Engine) pop() *event {
 // completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetCancelCheck installs a host-side cancellation probe: every n fired
+// events the engine calls f, and when f reports true the current Run
+// returns after the in-flight event. Pass (0, nil) to uninstall. The
+// probe is the sanctioned bridge between wall-clock deadlines
+// (context.Context) and the simulated world: a probe that never fires
+// leaves the run byte-identical to one with no probe installed, so
+// determinism only ends at the moment of cancellation — exactly when
+// the run's results are discarded anyway.
+func (e *Engine) SetCancelCheck(n uint64, f func() bool) {
+	if n == 0 || f == nil {
+		e.checkEvery, e.checkFn = 0, nil
+		return
+	}
+	e.checkEvery, e.checkFn = n, f
+}
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
@@ -270,6 +303,9 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		e.recycle(next)
 		e.metrics.EventsFired++
 		fn()
+		if e.checkFn != nil && e.metrics.EventsFired%e.checkEvery == 0 && e.checkFn() {
+			return e.now
+		}
 	}
 	if deadline >= 0 && e.now < deadline {
 		e.now = deadline

@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"fmt"
+	"runtime/debug"
+)
+
 // Process is a coroutine bound to an Engine. A process runs as a
 // goroutine, but the engine resumes at most one process at a time and a
 // process only gives up control at Delay, Pause, or wait points, so
@@ -15,6 +20,10 @@ type Process struct {
 	resume chan struct{}
 	yield  chan struct{}
 	dead   bool
+	// killed marks a process being unwound by KillProcesses: the next
+	// resume panics with the kill sentinel instead of returning to the
+	// body.
+	killed bool
 	// blocked is true while the process waits for an external wake
 	// (Signal/Semaphore/Pause) rather than a self-scheduled Delay.
 	blocked bool
@@ -22,6 +31,31 @@ type Process struct {
 	// path does not allocate a fresh closure per call.
 	stepFn func()
 }
+
+// ProcessPanic is the value the engine re-panics with on its own
+// goroutine when a process body panics. Process bodies run on separate
+// goroutines, where a raw panic would kill the whole program with an
+// unrecoverable goroutine trace; the wrapper installed by Spawn
+// captures the fault instead and the step handshake re-raises it inside
+// Run, so a caller of Run can contain a simulator fault (a livelock
+// hard limit, a protocol assertion) with an ordinary recover.
+type ProcessPanic struct {
+	// Proc is the name of the process whose body panicked.
+	Proc string
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at the point of capture.
+	Stack []byte
+}
+
+// String renders the fault headline (without the stack).
+func (pp *ProcessPanic) String() string {
+	return fmt.Sprintf("process %q panicked: %v", pp.Proc, pp.Value)
+}
+
+// killSentinel is the panic value KillProcesses uses to unwind a
+// process body; the Spawn wrapper swallows it.
+type killSentinel struct{}
 
 // Spawn starts body as a new simulated process. The body begins executing
 // at the current simulated time, after already-queued events for this
@@ -36,15 +70,67 @@ func (e *Engine) Spawn(name string, body func(p *Process)) *Process {
 	}
 	p.stepFn = p.step
 	e.procs++
+	e.register(p)
 	go func() {
 		<-p.resume
-		body(p)
+		if !p.killed {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						return
+					}
+					if _, ok := r.(killSentinel); ok {
+						return
+					}
+					p.eng.procPanic = &ProcessPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+				}()
+				body(p)
+			}()
+		}
 		p.dead = true
 		p.eng.procs--
 		p.yield <- struct{}{}
 	}()
 	e.Schedule(0, p.stepFn)
 	return p
+}
+
+// register adds p to the kill registry, compacting dead entries when
+// the slice is about to grow so long-lived engines that spawn and
+// retire many processes stay bounded.
+func (e *Engine) register(p *Process) {
+	if len(e.plist) == cap(e.plist) {
+		live := e.plist[:0]
+		for _, q := range e.plist {
+			if !q.dead {
+				live = append(live, q)
+			}
+		}
+		e.plist = live
+	}
+	e.plist = append(e.plist, p)
+}
+
+// KillProcesses unwinds every live process: each parked coroutine is
+// resumed one final time and panics internally with a kill sentinel, so
+// its goroutine runs its defers and exits instead of leaking. Call it
+// only from outside Run (never from an event callback or process body),
+// after abandoning a cancelled or faulted simulation; the simulated
+// state is left as-is and must not be trusted afterwards.
+func (e *Engine) KillProcesses() {
+	for _, p := range e.plist {
+		if p.dead {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-p.yield
+	}
+	e.plist = e.plist[:0]
+	// A defer that panicked during unwinding must not poison a later,
+	// unrelated step; the killed simulation is abandoned regardless.
+	e.procPanic = nil
 }
 
 // Live reports the number of processes that have been spawned and have
@@ -63,13 +149,19 @@ func (p *Process) Now() Time { return p.eng.now }
 
 // step transfers control into the process until its next yield. It is
 // the only way a process ever runs, so process execution is serialized
-// with all other events.
+// with all other events. A panic captured from the process body is
+// re-raised here, on the engine goroutine, where Run's caller can
+// recover it.
 func (p *Process) step() {
 	if p.dead {
 		return
 	}
 	p.resume <- struct{}{}
 	<-p.yield
+	if pp := p.eng.procPanic; pp != nil {
+		p.eng.procPanic = nil
+		panic(pp)
+	}
 }
 
 // switchOut returns control to the engine and blocks until the next
@@ -77,6 +169,9 @@ func (p *Process) step() {
 func (p *Process) switchOut() {
 	p.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
 }
 
 // Delay advances this process's local activity by d simulated time.
