@@ -21,6 +21,17 @@
 //	                         # submissions come back as cache hits
 //	vmpbench -bench BENCH_6.json
 //	                         # hot-path benchmark snapshot (perf trajectory)
+//	vmpbench -bench BENCH_8.json -compare BENCH_7.json
+//	                         # collect AND gate against a baseline snapshot
+//	vmpbench -compare BENCH_7.json -compare-allocs-only
+//	                         # collect (without writing) and check only
+//	                         # machine-independent facts — the CI gate
+//
+// The -compare gate exits non-zero when the current run regresses
+// beyond the noise threshold (-compare-threshold, default 0.5 = 50%).
+// Timing comparisons only mean something between runs on the same
+// machine; against a snapshot committed from different hardware, use
+// -compare-allocs-only (fingerprint, allocs/op, bytes/op).
 //
 // Results are deterministic for a given -seed regardless of -workers:
 // each experiment's workload seed derives from the id, not from
@@ -63,11 +74,14 @@ func main() {
 		outFile = flag.String("out", "", "with -sweep: write the machine-readable per-cell results to this JSON file")
 		remote  = flag.String("remote", "", "with -sweep: submit to the vmpd daemon at this base URL instead of running locally")
 		bench   = flag.String("bench", "", "collect the hot-path benchmark snapshot and write it to this JSON file (e.g. BENCH_6.json)")
+		compare = flag.String("compare", "", "gate the collected snapshot against this baseline BENCH_<n>.json; exits non-zero on regression")
+		cmpTh   = flag.Float64("compare-threshold", 0, "allowed fractional timing slowdown before -compare flags a regression (0 = default 0.5)")
+		cmpAO   = flag.Bool("compare-allocs-only", false, "restrict -compare to machine-independent facts (fingerprint, allocs/op, bytes/op)")
 	)
 	flag.Parse()
 
-	if *bench != "" {
-		runBench(*bench)
+	if *bench != "" || *compare != "" {
+		runBench(*bench, *compare, perf.CompareOptions{Threshold: *cmpTh, AllocsOnly: *cmpAO})
 		return
 	}
 
@@ -136,25 +150,24 @@ func main() {
 	}
 }
 
-// runBench collects the benchmark-trajectory snapshot (internal/perf)
-// and writes it to path, printing a human-readable summary. The JSON is
-// committed as BENCH_<n>.json per PR so the perf trajectory is
-// reviewable; the numbers are host-dependent, so compare snapshots from
-// comparable machines.
-func runBench(path string) {
+// runBench collects the benchmark-trajectory snapshot (internal/perf),
+// writes it to path when given, and — when comparePath is set — gates
+// it against that baseline, exiting non-zero on any regression. The
+// JSON is committed as BENCH_<n>.json per PR so the perf trajectory is
+// reviewable; the numbers are host-dependent, so full timing compares
+// only mean something between runs on comparable machines (the CI gate
+// uses -compare-allocs-only for the committed snapshot).
+func runBench(path, comparePath string, cmpOpts perf.CompareOptions) {
 	snap, err := perf.Collect()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmpbench:", err)
 		os.Exit(1)
 	}
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmpbench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "vmpbench:", err)
-		os.Exit(1)
+	if path != "" {
+		if err := snap.WriteJSON(path); err != nil {
+			fmt.Fprintln(os.Stderr, "vmpbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	m := snap.Macro
@@ -165,7 +178,30 @@ func runBench(path string) {
 		t.Add(mb.Name, fmt.Sprintf("%.1f", mb.NsPerOp), mb.AllocsPerOp, mb.BytesPerOp)
 	}
 	fmt.Println(t)
-	fmt.Printf("wrote %s\n", path)
+	if path != "" {
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if comparePath != "" {
+		base, err := perf.ReadSnapshot(comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmpbench:", err)
+			os.Exit(2)
+		}
+		regs := perf.Compare(base, snap, cmpOpts)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "vmpbench: %d regression(s) against %s:\n", len(regs), comparePath)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, " ", r)
+			}
+			os.Exit(1)
+		}
+		mode := "full"
+		if cmpOpts.AllocsOnly {
+			mode = "allocs-only"
+		}
+		fmt.Printf("no regressions against %s (%s compare)\n", comparePath, mode)
+	}
 }
 
 // runSweep expands a scenario grid, runs every cell (workers at a

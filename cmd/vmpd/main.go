@@ -13,18 +13,24 @@
 //	vmpd -quota-rate 5 -quota-burst 10
 //	vmpd -budget 2m -max-budget 10m  # per-job wall-clock budgets
 //	vmpd -shed                       # start in load-shedding mode
+//	vmpd -pprof                      # mount /debug/pprof/ profiling handlers
+//	vmpd -log-level debug            # structured-log verbosity
 //
 // Endpoints:
 //
 //	POST /v1/specs       submit one Spec  (?wait=1 blocks for the result,
-//	                     ?budget_ms= overrides the job budget)
-//	POST /v1/grids       submit a Grid sweep
+//	                     ?budget_ms= overrides the job budget,
+//	                     ?trace=1 retains sim events for /trace)
+//	POST /v1/grids       submit a Grid sweep (same query parameters)
 //	GET  /v1/results/{fp}   fetch a stored record by fingerprint
 //	GET  /v1/jobs/{id}      job snapshot
 //	GET  /v1/jobs/{id}/events   NDJSON progress stream
+//	GET  /v1/jobs/{id}/trace    combined service+sim Perfetto trace
 //	DELETE /v1/jobs/{id}    cancel a job
 //	GET  /healthz        liveness (503 while draining)
 //	GET  /statsz         queue, quota, cache and store-integrity counters
+//	GET  /metricsz       Prometheus text exposition of the same registry
+//	GET  /debug/pprof/   profiling handlers (only with -pprof)
 //
 // Admission control: a bounded submission queue plus per-client token
 // buckets (X-Client-ID header); both shed with 429 + Retry-After.
@@ -37,7 +43,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +53,21 @@ import (
 
 	"vmp/internal/serve"
 )
+
+// logLevel parses the -log-level flag.
+func logLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (debug|info|warn|error)", s)
+}
 
 func main() {
 	var (
@@ -59,8 +82,17 @@ func main() {
 		maxCells     = flag.Int("max-cells", 1024, "largest accepted grid expansion")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
 		shed         = flag.Bool("shed", false, "start in load-shedding mode (cache hits only)")
+		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof handlers at /debug/pprof/")
+		levelFlag    = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
 	)
 	flag.Parse()
+
+	level, err := logLevel(*levelFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmpd:", err)
+		os.Exit(2)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := serve.New(serve.Config{
 		StoreDir:     *storeDir,
@@ -72,29 +104,45 @@ func main() {
 		MaxJobBudget: *maxBudget,
 		MaxCells:     *maxCells,
 		Shed:         *shed,
+		Log:          log,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmpd:", err)
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "vmpd: store %s: %d quarantined, %d partials recovered at startup\n",
-		*storeDir, st.Store.Quarantined, st.Store.RecoveredPartials)
+	log.Info("store opened", "dir", *storeDir,
+		"quarantined", st.Store.Quarantined, "recovered_partials", st.Store.RecoveredPartials)
 
-	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *withPprof {
+		// Opt-in profiling: the pprof handlers mount on a wrapper mux so
+		// the serve package stays free of debug surface by default.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	hs := &http.Server{Addr: *listen, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "vmpd: listening on %s\n", *listen)
+	log.Info("listening", "addr", *listen)
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 
 	select {
 	case err := <-errCh:
-		fmt.Fprintln(os.Stderr, "vmpd:", err)
+		log.Error("server failed", "err", err)
 		os.Exit(1)
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "vmpd: %s: draining (deadline %s; signal again to exit now)\n", sig, *drainTimeout)
+		log.Info("draining", "signal", sig.String(), "deadline", drainTimeout.String())
 	}
 
 	// Drain: refuse new work, let in-flight jobs finish under the
@@ -104,7 +152,7 @@ func main() {
 	defer cancel()
 	go func() {
 		<-sigCh
-		fmt.Fprintln(os.Stderr, "vmpd: second signal, exiting now")
+		log.Warn("second signal, exiting now")
 		cancel()
 	}()
 	drainErr := srv.Drain(drainCtx)
@@ -115,8 +163,8 @@ func main() {
 	srv.Close()
 
 	if drainErr != nil && !errors.Is(drainErr, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "vmpd: drain cut short: %v\n", drainErr)
+		log.Error("drain cut short", "err", drainErr)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "vmpd: drained cleanly")
+	log.Info("drained cleanly")
 }

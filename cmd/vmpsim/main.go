@@ -19,6 +19,8 @@
 //	vmpsim -procs 4 -dump-spec               # print the spec for these flags
 //	vmpsim -procs 4 -trace-out run.json      # Perfetto/chrome://tracing trace
 //	vmpsim -procs 4 -phases -hotpages 10     # phase latencies + hot pages
+//	vmpsim -procs 4 -cpuprofile cpu.pb.gz    # host-side CPU profile of the run
+//	vmpsim -procs 4 -memprofile mem.pb.gz    # heap profile at run end
 //
 // The process exits non-zero when the shadow checker reports an
 // invariant violation or any board observes a protocol violation. A
@@ -33,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -68,6 +72,8 @@ func main() {
 		phases      = flag.Bool("phases", false, "print the per-phase miss-handler latency table")
 		scenarioIn  = flag.String("scenario", "", "run the scenario.Spec in this JSON file (machine/workload flags are ignored)")
 		dumpSpec    = flag.Bool("dump-spec", false, "print the canonical scenario spec and exit without running")
+		cpuProfile  = flag.String("cpuprofile", "", "write a host-side CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at run end to this file")
 	)
 	flag.Parse()
 
@@ -120,6 +126,36 @@ func main() {
 		}
 		fmt.Println(string(canon))
 		return
+	}
+
+	// Profiling wraps only the simulation itself: the CPU profile
+	// covers the run, the heap profile snapshots its end state. Neither
+	// can affect results — they read the host, not the machine.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
 	}
 
 	// RunGuarded contains simulator faults (livelock hard limits,

@@ -6,26 +6,50 @@ import (
 	"go/types"
 )
 
-// NilSink enforces the nil-sink discipline at obs emit sites: every
-// call to (*obs.Sink).Emit outside the obs package must be dominated by
-// an `if sink != nil` check on the same receiver expression. The Sink
-// methods are themselves nil-tolerant, but an unguarded call still
-// constructs the Event argument on the disabled path; the guard keeps
-// the cost of a machine built without observability to one predictable
-// branch per site, which is what the CI 5% tracing-overhead guard
-// measures. Helpers that centralize an emit and document that callers
-// must guard (core's emitPhase) carry a //vmplint:allow annotation.
+// NilSink enforces the nil-sink discipline at emission sites: every
+// call to a covered sink method outside the sink's home package must be
+// dominated by an `if sink != nil` check on the same receiver
+// expression. Two sink families are covered:
+//
+//   - (*obs.Sink).Emit — the simulator's event sink. The methods are
+//     nil-tolerant, but an unguarded call still constructs the Event
+//     argument on the disabled path; the guard keeps the cost of a
+//     machine built without observability to one predictable branch
+//     per site, which is what the CI 5% tracing-overhead guard
+//     measures.
+//   - telemetry.Counter/Gauge/Histogram update methods — the serving
+//     layer's metrics. Same contract: the guard makes the
+//     disabled-telemetry hot path statically single-branch, which is
+//     what the telemetry overhead guard measures.
+//
+// Helpers that centralize an emission and document that callers must
+// guard (core's emitPhase, serve's cinc/cadd/hsince) put the guard
+// inside the helper, which satisfies the analyzer without suppression.
 var NilSink = &Analyzer{
 	Name: "nilsink",
-	Doc: "require every (*obs.Sink).Emit call site to be nil-guarded, preserving the " +
-		"one-branch disabled path the tracing-overhead guard measures",
+	Doc: "require every sink emission site (obs.Sink.Emit, telemetry counter/gauge/histogram " +
+		"updates) to be nil-guarded, preserving the one-branch disabled path the overhead guards measure",
 	Run: runNilSink,
 }
 
+// nilSinkTarget is one covered (package, type, methods) sink family.
+// The home package is exempt: the sink's own methods implement the nil
+// tolerance the guard relies on.
+type nilSinkTarget struct {
+	pkg     string
+	typ     string
+	methods map[string]bool
+	what    string
+}
+
+var nilSinkTargets = []nilSinkTarget{
+	{"vmp/internal/obs", "Sink", map[string]bool{"Emit": true}, "obs emit"},
+	{"vmp/internal/telemetry", "Counter", map[string]bool{"Add": true, "Inc": true}, "telemetry counter update"},
+	{"vmp/internal/telemetry", "Gauge", map[string]bool{"Set": true, "Add": true}, "telemetry gauge update"},
+	{"vmp/internal/telemetry", "Histogram", map[string]bool{"Observe": true, "ObserveSince": true}, "telemetry histogram observation"},
+}
+
 func runNilSink(pass *Pass) {
-	if pass.Pkg.Path() == "vmp/internal/obs" {
-		return // the sink's own methods implement the nil tolerance
-	}
 	for _, file := range pass.Files {
 		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -33,18 +57,27 @@ func runNilSink(pass *Pass) {
 				return true
 			}
 			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Emit" {
+			if !ok {
 				return true
 			}
 			tv, ok := pass.Info.Types[sel.X]
-			if !ok || !isNamed(tv.Type, "vmp/internal/obs", "Sink") {
+			if !ok {
 				return true
 			}
-			recv := types.ExprString(sel.X)
-			if !nilGuarded(stack, n, recv) {
-				pass.Reportf(call.Pos(),
-					"obs emit on %s is not nil-guarded; wrap the call site in `if %s != nil` to keep the one-branch disabled path",
-					recv, recv)
+			for _, t := range nilSinkTargets {
+				if pass.Pkg.Path() == t.pkg {
+					continue
+				}
+				if !t.methods[sel.Sel.Name] || !isNamed(tv.Type, t.pkg, t.typ) {
+					continue
+				}
+				recv := types.ExprString(sel.X)
+				if !nilGuarded(stack, n, recv) {
+					pass.Reportf(call.Pos(),
+						"%s on %s is not nil-guarded; wrap the call site in `if %s != nil` to keep the one-branch disabled path",
+						t.what, recv, recv)
+				}
+				return true
 			}
 			return true
 		})

@@ -1,0 +1,79 @@
+// Fixture for the nilsink analyzer's telemetry coverage: counter,
+// gauge and histogram update sites must be nil-guarded just like obs
+// emits, so a server built with telemetry disabled keeps a one-branch
+// hot path.
+package nilsink
+
+import (
+	"time"
+
+	"vmp/internal/telemetry"
+)
+
+// Metrics mimics a serving component holding optional handles.
+type Metrics struct {
+	submits *telemetry.Counter
+	depth   *telemetry.Gauge
+	wait    *telemetry.Histogram
+}
+
+// UnguardedCounter updates without the standard branch.
+func (m *Metrics) UnguardedCounter() {
+	m.submits.Inc()  // want "telemetry counter update on m.submits is not nil-guarded"
+	m.submits.Add(2) // want "telemetry counter update on m.submits is not nil-guarded"
+}
+
+// UnguardedGauge covers both gauge mutators.
+func (m *Metrics) UnguardedGauge() {
+	m.depth.Set(4) // want "telemetry gauge update on m.depth is not nil-guarded"
+	m.depth.Add(1) // want "telemetry gauge update on m.depth is not nil-guarded"
+}
+
+// UnguardedHistogram covers both observation forms.
+func (m *Metrics) UnguardedHistogram(start time.Time) {
+	m.wait.Observe(0.5)        // want "telemetry histogram observation on m.wait is not nil-guarded"
+	m.wait.ObserveSince(start) // want "telemetry histogram observation on m.wait is not nil-guarded"
+}
+
+// WrongGuardTelemetry checks a different handle than the receiver.
+func (m *Metrics) WrongGuardTelemetry(other *telemetry.Counter) {
+	if other != nil {
+		m.submits.Inc() // want "telemetry counter update on m.submits is not nil-guarded"
+	}
+}
+
+// GuardedUpdates follow the discipline: one branch per site.
+func (m *Metrics) GuardedUpdates(start time.Time) {
+	if m.submits != nil {
+		m.submits.Inc()
+	}
+	if m.depth != nil {
+		m.depth.Set(4)
+	}
+	if m.wait != nil {
+		m.wait.ObserveSince(start)
+	}
+}
+
+// EarlyExitGuard dominates every later update in the function.
+func (m *Metrics) EarlyExitGuard(c *telemetry.Counter) {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+	c.Inc()
+}
+
+// GuardedHelper centralizes the guard, like serve's cinc helper: the
+// branch is inside the helper, so call sites need none.
+func GuardedHelper(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// ReadsAreFree: Value/Count/Sum are reads, not emissions, and are not
+// flagged even unguarded (nil receivers return zero values).
+func ReadsAreFree(c *telemetry.Counter, h *telemetry.Histogram) int64 {
+	return c.Value() + h.Count()
+}

@@ -1,0 +1,174 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Snapshot comparison: the piece that turns the committed BENCH_<n>.json
+// trajectory from archaeology into an enforced invariant. A comparison
+// distinguishes two classes of signal:
+//
+//   - Machine-independent facts — the macro fingerprint, allocs/op,
+//     and (with generous slack) bytes/op. These must hold on any
+//     machine, so CI gates on them against the committed snapshot.
+//   - Timing — ns/op, events/sec, refs/sec. These only mean something
+//     between runs on the same machine, so the timing gate compares two
+//     back-to-back local runs (or is run with a wide threshold).
+//
+// CompareOptions.AllocsOnly selects the first class alone.
+
+// CompareOptions tunes the regression comparison.
+type CompareOptions struct {
+	// Threshold is the allowed fractional timing slowdown before a
+	// regression is flagged (0.5 = 50%); <= 0 selects DefaultThreshold.
+	Threshold float64
+	// AllocsOnly restricts the comparison to machine-independent facts:
+	// fingerprint, micro presence, allocs/op, bytes/op.
+	AllocsOnly bool
+}
+
+// DefaultThreshold is the timing noise allowance: generous, because
+// the gate must not flake on shared CI machines; a real regression on
+// the pinned macro scenario is far larger than scheduler noise.
+const DefaultThreshold = 0.5
+
+// bytesSlack is the allowed bytes/op growth before it counts as a
+// regression: small fixed-size fluctuations (map growth thresholds,
+// size-class changes) are tolerated, systematic growth is not.
+func bytesSlack(base int64) int64 {
+	slack := base / 4
+	if slack < 256 {
+		slack = 256
+	}
+	return base + slack
+}
+
+// Regression is one detected deviation from the baseline snapshot.
+type Regression struct {
+	Name   string  `json:"name"`   // "macro" or the micro name
+	Field  string  `json:"field"`  // which figure regressed
+	Base   float64 `json:"base"`   // baseline value
+	Cur    float64 `json:"cur"`    // current value
+	Detail string  `json:"detail"` // human-readable explanation
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %s", r.Name, r.Field, r.Detail)
+}
+
+// Compare diffs cur against the base snapshot and returns every
+// regression beyond the noise threshold. Empty means clean.
+func Compare(base, cur *Snapshot, opts CompareOptions) []Regression {
+	th := opts.Threshold
+	if th <= 0 {
+		th = DefaultThreshold
+	}
+	var regs []Regression
+
+	// The macro fingerprint is a correctness fact, not a timing one: a
+	// drifted fingerprint means the pinned scenario no longer computes
+	// the same machine, and every trajectory point stops being
+	// comparable.
+	if base.Macro.Fingerprint != cur.Macro.Fingerprint {
+		regs = append(regs, Regression{
+			Name: "macro", Field: "fingerprint",
+			Detail: fmt.Sprintf("pinned scenario fingerprint changed: %s -> %s (trajectory broken)",
+				base.Macro.Fingerprint, cur.Macro.Fingerprint),
+		})
+	}
+
+	if !opts.AllocsOnly {
+		// Macro rates regress when they fall below base/(1+threshold).
+		for _, f := range []struct {
+			field     string
+			base, cur float64
+		}{
+			{"events_per_sec", base.Macro.EventsPerSec, cur.Macro.EventsPerSec},
+			{"simulated_refs_per_sec", base.Macro.RefsPerSec, cur.Macro.RefsPerSec},
+		} {
+			if f.base > 0 && f.cur < f.base/(1+th) {
+				regs = append(regs, Regression{
+					Name: "macro", Field: f.field, Base: f.base, Cur: f.cur,
+					Detail: fmt.Sprintf("%.0f -> %.0f (below %.0f%% of baseline)", f.base, f.cur, 100/(1+th)),
+				})
+			}
+		}
+		if base.Macro.NsPerMiss > 0 && cur.Macro.NsPerMiss > base.Macro.NsPerMiss*(1+th) {
+			regs = append(regs, Regression{
+				Name: "macro", Field: "host_ns_per_miss",
+				Base: base.Macro.NsPerMiss, Cur: cur.Macro.NsPerMiss,
+				Detail: fmt.Sprintf("%.0f -> %.0f ns/miss (> %.0f%% slower)", base.Macro.NsPerMiss, cur.Macro.NsPerMiss, th*100),
+			})
+		}
+	}
+
+	curMicro := make(map[string]Micro, len(cur.Micro))
+	for _, m := range cur.Micro {
+		curMicro[m.Name] = m
+	}
+	for _, bm := range base.Micro {
+		cm, ok := curMicro[bm.Name]
+		if !ok {
+			// A vanished micro usually means a benchmark was dropped
+			// without updating the snapshot — the trajectory silently
+			// loses coverage, which is exactly what the gate exists to
+			// catch.
+			regs = append(regs, Regression{
+				Name: bm.Name, Field: "presence",
+				Detail: "micro benchmark present in baseline but missing from current run",
+			})
+			continue
+		}
+		if cm.AllocsPerOp > bm.AllocsPerOp {
+			regs = append(regs, Regression{
+				Name: bm.Name, Field: "allocs_per_op",
+				Base: float64(bm.AllocsPerOp), Cur: float64(cm.AllocsPerOp),
+				Detail: fmt.Sprintf("%d -> %d allocs/op", bm.AllocsPerOp, cm.AllocsPerOp),
+			})
+		}
+		if cm.BytesPerOp > bytesSlack(bm.BytesPerOp) {
+			regs = append(regs, Regression{
+				Name: bm.Name, Field: "bytes_per_op",
+				Base: float64(bm.BytesPerOp), Cur: float64(cm.BytesPerOp),
+				Detail: fmt.Sprintf("%d -> %d B/op (beyond slack %d)", bm.BytesPerOp, cm.BytesPerOp, bytesSlack(bm.BytesPerOp)),
+			})
+		}
+		if !opts.AllocsOnly && bm.NsPerOp > 0 && cm.NsPerOp > bm.NsPerOp*(1+th) {
+			regs = append(regs, Regression{
+				Name: bm.Name, Field: "ns_per_op",
+				Base: bm.NsPerOp, Cur: cm.NsPerOp,
+				Detail: fmt.Sprintf("%.1f -> %.1f ns/op (> %.0f%% slower)", bm.NsPerOp, cm.NsPerOp, th*100),
+			})
+		}
+	}
+	return regs
+}
+
+// WriteJSON writes the snapshot, indented, to path (the BENCH_<n>.json
+// format).
+func (s *Snapshot) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a committed BENCH_<n>.json.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}

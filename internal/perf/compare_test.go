@@ -1,0 +1,137 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func baseSnapshot() *Snapshot {
+	return &Snapshot{
+		Version: 1,
+		Macro: Macro{
+			Scenario:     "bench-macro",
+			Fingerprint:  "bf50901a0fe74ea3",
+			EventsPerSec: 1_000_000,
+			RefsPerSec:   500_000,
+			NsPerMiss:    200,
+		},
+		Micro: []Micro{
+			{Name: "engine/schedule-fire", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "serve/store-put", NsPerOp: 50_000, AllocsPerOp: 23, BytesPerOp: 2000},
+		},
+	}
+}
+
+func findReg(regs []Regression, name, field string) *Regression {
+	for i := range regs {
+		if regs[i].Name == name && regs[i].Field == field {
+			return &regs[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareClean(t *testing.T) {
+	base := baseSnapshot()
+	cur := baseSnapshot()
+	// Noise within threshold on every timing figure: no regressions.
+	cur.Macro.EventsPerSec *= 0.8
+	cur.Macro.NsPerMiss *= 1.3
+	cur.Micro[0].NsPerOp *= 1.4
+	cur.Micro[1].BytesPerOp += 100 // within slack
+	if regs := Compare(base, cur, CompareOptions{}); len(regs) != 0 {
+		t.Fatalf("clean compare flagged: %v", regs)
+	}
+}
+
+func TestCompareTimingRegressions(t *testing.T) {
+	base := baseSnapshot()
+	cur := baseSnapshot()
+	cur.Macro.EventsPerSec = base.Macro.EventsPerSec / 2 // below 1/1.5
+	cur.Macro.NsPerMiss = base.Macro.NsPerMiss * 2
+	cur.Micro[0].NsPerOp = base.Micro[0].NsPerOp * 2
+	regs := Compare(base, cur, CompareOptions{})
+	for _, want := range [][2]string{
+		{"macro", "events_per_sec"},
+		{"macro", "host_ns_per_miss"},
+		{"engine/schedule-fire", "ns_per_op"},
+	} {
+		if findReg(regs, want[0], want[1]) == nil {
+			t.Errorf("missing regression %s/%s in %v", want[0], want[1], regs)
+		}
+	}
+	// AllocsOnly mutes all of these.
+	if regs := Compare(base, cur, CompareOptions{AllocsOnly: true}); len(regs) != 0 {
+		t.Fatalf("AllocsOnly flagged timing: %v", regs)
+	}
+}
+
+func TestCompareMachineIndependentRegressions(t *testing.T) {
+	base := baseSnapshot()
+	cur := baseSnapshot()
+	cur.Macro.Fingerprint = "0000000000000000"
+	cur.Micro[0].AllocsPerOp = 1 // zero-alloc path started allocating
+	cur.Micro = cur.Micro[:1]    // serve/store-put vanishes
+
+	regs := Compare(base, cur, CompareOptions{AllocsOnly: true})
+	for _, want := range [][2]string{
+		{"macro", "fingerprint"},
+		{"engine/schedule-fire", "allocs_per_op"},
+		{"serve/store-put", "presence"},
+	} {
+		if findReg(regs, want[0], want[1]) == nil {
+			t.Errorf("missing regression %s/%s in %v", want[0], want[1], regs)
+		}
+	}
+}
+
+func TestCompareBytesSlack(t *testing.T) {
+	base := baseSnapshot()
+	cur := baseSnapshot()
+	// Exactly at the slack boundary: 2000*1.25 = 2500, allowed.
+	cur.Micro[1].BytesPerOp = 2500
+	if regs := Compare(base, cur, CompareOptions{AllocsOnly: true}); len(regs) != 0 {
+		t.Fatalf("at-slack compare flagged: %v", regs)
+	}
+	cur.Micro[1].BytesPerOp = 2501
+	if r := findReg(Compare(base, cur, CompareOptions{AllocsOnly: true}), "serve/store-put", "bytes_per_op"); r == nil {
+		t.Fatal("beyond-slack bytes growth not flagged")
+	}
+	// Tiny baselines get the 256-byte floor.
+	cur = baseSnapshot()
+	cur.Micro[0].BytesPerOp = 256
+	if regs := Compare(base, cur, CompareOptions{AllocsOnly: true}); len(regs) != 0 {
+		t.Fatalf("within-floor bytes growth flagged: %v", regs)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	base := baseSnapshot()
+	cur := baseSnapshot()
+	cur.Micro[0].NsPerOp = 120 // +20%
+	if regs := Compare(base, cur, CompareOptions{Threshold: 0.1}); findReg(regs, "engine/schedule-fire", "ns_per_op") == nil {
+		t.Fatal("tight threshold missed a 20% slowdown")
+	}
+	if regs := Compare(base, cur, CompareOptions{Threshold: 0.3}); len(regs) != 0 {
+		t.Fatalf("loose threshold flagged 20%%: %v", regs)
+	}
+}
+
+func TestReadSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	s := baseSnapshot()
+	if err := s.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Macro.Fingerprint != s.Macro.Fingerprint || len(got.Micro) != len(s.Micro) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing snapshot must error")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"vmp/internal/scenario"
 	"vmp/internal/serve"
 	"vmp/internal/sim"
+	"vmp/internal/telemetry"
 	"vmp/internal/workload"
 )
 
@@ -137,6 +138,8 @@ func Collect() (*Snapshot, error) {
 		{"monitor/check", benchMonitor},
 		{"serve/store-put", benchStorePut},
 		{"serve/store-get", benchStoreGet},
+		{"telemetry/counter-add", benchTelemetryCounter},
+		{"telemetry/histogram-observe", benchTelemetryHistogram},
 	} {
 		r := testing.Benchmark(mb.fn)
 		s.Micro = append(s.Micro, Micro{
@@ -277,6 +280,35 @@ func benchStoreGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Get(fps[i%len(fps)]); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchTelemetryCounter pins the service-metrics hot path: an enabled
+// counter increment must stay zero-alloc (the CI allocs gate compares
+// this row against the committed snapshot).
+func benchTelemetryCounter(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("vmp_bench_counter_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	if c != nil {
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	}
+}
+
+// benchTelemetryHistogram pins the latency-observation hot path:
+// bucket search plus the atomic sum update, zero-alloc.
+func benchTelemetryHistogram(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("vmp_bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if h != nil {
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%16) * 0.01)
 		}
 	}
 }

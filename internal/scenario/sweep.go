@@ -32,6 +32,11 @@ type RunOptions struct {
 	// CellDone, when non-nil, receives each completed cell result
 	// (called from worker goroutines, completion order).
 	CellDone func(cr CellResult) `json:"-"`
+	// ResultDone, when non-nil, additionally receives the full RunResult
+	// (machine attached) for each successfully simulated cell, before
+	// the machine is released. rr is nil when the cell errored. Like the
+	// other hooks it observes results; it cannot change them.
+	ResultDone func(cr CellResult, rr *RunResult) `json:"-"`
 }
 
 // CellResult is one grid point's machine-readable outcome —
@@ -136,6 +141,9 @@ func RunCells(name string, cells []Cell, opts RunOptions) (*SweepResult, error) 
 				}
 				if opts.CellDone != nil {
 					opts.CellDone(cr)
+				}
+				if opts.ResultDone != nil {
+					opts.ResultDone(cr, rr)
 				}
 			}
 		}()

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"vmp/internal/obs"
+	"vmp/internal/telemetry"
 )
 
 // JobState is a job's lifecycle state. Transitions:
@@ -88,12 +91,77 @@ type job struct {
 	budget time.Duration
 	// work is the job's payload: expanded cells plus fingerprints.
 	work jobWork
+	// epoch is the admission instant (monotonic), the t=0 of the job's
+	// service spans.
+	epoch time.Time
+	// spans accumulates the job's service-side lifecycle spans
+	// (guarded by mu: the recorder itself is not goroutine-safe).
+	spans *telemetry.SpanRecorder
+	// captureTrace enables retaining sim events for /trace (?trace=1 on
+	// submission); simEvents holds them, bounded by maxJobSimEvents.
+	captureTrace bool
+	simEvents    []obs.Event
 }
 
+// maxJobSimEvents bounds retained sim events per traced job; past it
+// the earliest events win (they anchor the timeline).
+const maxJobSimEvents = 131072
+
 func newJob(view JobView, budget time.Duration) *job {
-	j := &job{view: view, budget: budget}
+	j := &job{view: view, budget: budget, epoch: time.Now()}
 	j.wake = sync.NewCond(&j.mu)
+	j.spans = telemetry.NewSpanRecorder(j.epoch)
 	return j
+}
+
+// setCaptureTrace arms sim-event retention for this job (?trace=1).
+func (j *job) setCaptureTrace(on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.captureTrace = on
+}
+
+// recordSpan adds a completed service span under the job lock.
+func (j *job) recordSpan(track, name string, start, end time.Time, note string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.spans.Record(track, name, start, end, note)
+}
+
+// markSpan adds an instant marker under the job lock.
+func (j *job) markSpan(track, name string, at time.Time, note string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.spans.Mark(track, name, at, note)
+}
+
+// spanList snapshots the recorded spans.
+func (j *job) spanList() []telemetry.Span {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spans.Spans()
+}
+
+// addSimEvents retains sim events for the combined trace, up to the
+// per-job bound.
+func (j *job) addSimEvents(evs []obs.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	room := maxJobSimEvents - len(j.simEvents)
+	if room <= 0 {
+		return
+	}
+	if len(evs) > room {
+		evs = evs[:room]
+	}
+	j.simEvents = append(j.simEvents, evs...)
+}
+
+// simEventList snapshots retained sim events.
+func (j *job) simEventList() []obs.Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]obs.Event(nil), j.simEvents...)
 }
 
 // View snapshots the job.

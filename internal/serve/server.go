@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -16,7 +17,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vmp/internal/obs"
 	"vmp/internal/scenario"
+	"vmp/internal/telemetry"
 )
 
 // Config tunes the daemon. The zero value is usable: every field has a
@@ -47,6 +50,17 @@ type Config struct {
 	// Shed starts the daemon in load-shedding mode: compute
 	// submissions are rejected, cache hits still served.
 	Shed bool
+	// Metrics is the telemetry registry to register the daemon's
+	// metrics in; nil means the server creates its own (telemetry is on
+	// by default — /statsz and /metricsz are views over it).
+	Metrics *telemetry.Registry
+	// DisableTelemetry runs the daemon with nil telemetry handles: the
+	// single-branch disabled path throughout, no registry. /statsz
+	// counter fields then read zero. Only the overhead guard should
+	// want this; it is ignored when Metrics is set.
+	DisableTelemetry bool
+	// Log receives structured request/job logs; nil discards.
+	Log *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -109,14 +123,15 @@ type Server struct {
 	// accounting).
 	jobActive atomic.Bool
 
-	submissions   atomic.Int64
-	shedCount     atomic.Int64
-	quotaRejected atomic.Int64
-	cacheHitCells atomic.Int64
-	computedCells atomic.Int64
-	faultedCells  atomic.Int64
-	repairedCells atomic.Int64
-	mismatches    atomic.Int64
+	// met holds the telemetry handles (all nil when telemetry is
+	// disabled); reg is the registry /metricsz renders. The counters
+	// that used to be hand-rolled atomics here now live in the
+	// registry, and /statsz reads them back through met.
+	met *serverMetrics
+	reg *telemetry.Registry
+
+	log    *slog.Logger
+	reqSeq atomic.Int64
 
 	// runCells is the sweep entry point, a field so tests can substitute
 	// a hostile implementation (the production value is
@@ -138,6 +153,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := cfg.Metrics
+	if reg == nil && !cfg.DisableTelemetry {
+		reg = telemetry.NewRegistry()
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:        cfg,
 		store:      store,
@@ -145,15 +168,24 @@ func New(cfg Config) (*Server, error) {
 		jobs:       make(map[string]*job),
 		queue:      make(chan *job, cfg.QueueDepth),
 		runCells:   scenario.RunCells,
+		met:        newServerMetrics(reg),
+		reg:        reg,
+		log:        logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		runnerDone: make(chan struct{}),
 		started:    time.Now(),
 	}
+	registerServerGauges(reg, s)
 	s.shedding.Store(cfg.Shed)
 	go s.runner()
 	return s, nil
 }
+
+// Metrics exposes the telemetry registry (nil when telemetry is
+// disabled) so embedders can add their own metrics to the same
+// /metricsz page.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
 
 // Store exposes the underlying result store (tests, tooling).
 func (s *Server) Store() *Store { return s.store }
@@ -249,6 +281,11 @@ func (s *Server) finishJob(j *job, state JobState, errMsg, dump string) {
 	})
 	kind := map[JobState]string{JobDone: "done", JobFailed: "failed", JobCanceled: "canceled"}[state]
 	j.emit(JobEvent{Kind: kind, Err: errMsg})
+	cinc(s.met.jobsFinished.WithLabel(kind))
+	v := j.View()
+	s.log.Info("job finished",
+		"job", v.ID, "state", kind, "cells", v.Cells, "cache_hits", v.CacheHits,
+		"failed_cells", v.FailedCells, "err", errMsg)
 }
 
 // runJob executes one admitted job: answer cached cells from the
@@ -265,9 +302,19 @@ func (s *Server) runJob(j *job) {
 
 	defer func() {
 		if r := recover(); r != nil {
-			s.faultedCells.Add(1)
+			cinc(s.met.faultedCells)
 			s.finishJob(j, JobFailed, fmt.Sprintf("job panicked: %v", r), string(debug.Stack()))
 		}
+	}()
+
+	// The queue span covers admission to run start; the run span covers
+	// everything from here to the terminal state.
+	runStart := time.Now()
+	j.recordSpan("job", "queue", j.epoch, runStart, "")
+	hsince(s.met.queueWait, j.epoch)
+	defer func() {
+		j.recordSpan("job", "run", runStart, time.Now(), string(j.state()))
+		hsince(s.met.runDur, runStart)
 	}()
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.budget)
@@ -275,6 +322,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.cancel = cancel
 	work := j.work
+	captureTrace := j.captureTrace
 	j.mu.Unlock()
 
 	j.update(func(v *JobView) {
@@ -289,7 +337,8 @@ func (s *Server) runJob(j *job) {
 	for i, cell := range work.cells {
 		fp := work.fps[i]
 		if _, err := s.getRecord(fp); err == nil {
-			s.cacheHitCells.Add(1)
+			cinc(s.met.cacheHitCells)
+			j.markSpan("cells", "cache-hit", time.Now(), fp)
 			j.update(func(v *JobView) { v.DoneCells++; v.CacheHits++ })
 			j.emit(JobEvent{Kind: "cell", Cell: cell.Name, Fingerprint: fp, Cached: true})
 			continue
@@ -298,14 +347,26 @@ func (s *Server) runJob(j *job) {
 	}
 
 	if len(misses) > 0 {
-		_, err := s.runCells(j.view.Name, misses, scenario.RunOptions{
+		opts := scenario.RunOptions{
 			Workers: s.cfg.Workers,
 			Ctx:     ctx,
 			Guard:   true,
 			CellDone: func(cr scenario.CellResult) {
 				s.onCellDone(j, cr)
 			},
-		})
+		}
+		if captureTrace {
+			// Retain the sim event stream of traced jobs for the
+			// combined service+sim Perfetto export. Only specs that
+			// enabled obs streaming (spec.obs.stream) carry events.
+			opts.ResultDone = func(cr scenario.CellResult, rr *scenario.RunResult) {
+				if cr.Err != "" || rr == nil || rr.Machine == nil {
+					return
+				}
+				j.addSimEvents(rr.Machine.Sink().Stream())
+			}
+		}
+		_, err := s.runCells(j.view.Name, misses, opts)
 		if err != nil {
 			// Context cancellation: budget exhausted or shutdown/cancel.
 			state, msg := JobCanceled, "job canceled"
@@ -344,7 +405,8 @@ func firstCellError(j *job) string {
 // bytes).
 func (s *Server) onCellDone(j *job, cr scenario.CellResult) {
 	if cr.Err != "" {
-		s.faultedCells.Add(1)
+		cinc(s.met.faultedCells)
+		j.markSpan("cells", "cell-failed", time.Now(), cr.Name)
 		j.update(func(v *JobView) {
 			v.DoneCells++
 			v.FailedCells++
@@ -359,15 +421,19 @@ func (s *Server) onCellDone(j *job, cr scenario.CellResult) {
 	payload, err := encodeResult(cr)
 	if err == nil && ValidFingerprint(cr.Fingerprint) {
 		if old, gerr := s.store.Get(cr.Fingerprint); gerr == nil && !bytes.Equal(old, payload) {
-			s.mismatches.Add(1)
+			cinc(s.met.mismatches)
 		}
+		putStart := time.Now()
 		if perr := s.store.Put(cr.Fingerprint, payload); perr == nil {
+			hsince(s.met.storePut, putStart)
+			j.recordSpan("store", "put", putStart, time.Now(), cr.Fingerprint)
 			if _, pending := s.repairPending.LoadAndDelete(cr.Fingerprint); pending {
-				s.repairedCells.Add(1)
+				cinc(s.met.repairedCells)
 			}
 		}
 	}
-	s.computedCells.Add(1)
+	cinc(s.met.computedCells)
+	j.markSpan("cells", "cell-done", time.Now(), cr.Fingerprint)
 	j.update(func(v *JobView) { v.DoneCells++ })
 	j.emit(JobEvent{Kind: "cell", Cell: cr.Name, Fingerprint: cr.Fingerprint})
 }
@@ -403,7 +469,8 @@ func encodeResult(cr scenario.CellResult) ([]byte, error) {
 
 // --- HTTP layer ---
 
-// Handler returns the daemon's HTTP mux.
+// Handler returns the daemon's HTTP mux, wrapped in the structured
+// request log / request-ID middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/specs", s.handleSpec)
@@ -411,10 +478,75 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{fp}", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
-	return mux
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return s.logRequests(mux)
+}
+
+// statusWriter captures the response status for the request log. It
+// passes Flush through so NDJSON streaming keeps working behind the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests assigns each request an id (honoring a short inbound
+// X-Request-ID), echoes it in the response, and logs one structured
+// line per request — the slog path that replaced ad-hoc prints.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" || len(rid) > 64 {
+			rid = fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"id", rid, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "client", clientID(r),
+			"dur_ms", float64(time.Since(start))/float64(time.Millisecond))
+	})
+}
+
+// handleMetricsz serves the Prometheus text exposition of the
+// telemetry registry.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusNotFound, "telemetry disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: one Perfetto document
+// with the job's service spans on top and, for jobs submitted with
+// ?trace=1 and an event-streaming spec, the sim events below them.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteServiceTrace(w, j.spanList(), j.simEventList())
 }
 
 // clientID identifies the caller for quota accounting: the first of
@@ -450,6 +582,13 @@ func shedError(w http.ResponseWriter, retryAfter time.Duration, why string) {
 	httpError(w, http.StatusTooManyRequests, "%s", why)
 }
 
+// shed charges one shed submission to the global and per-client
+// counters.
+func (s *Server) shed(r *http.Request) {
+	cinc(s.met.shed)
+	cinc(s.met.clientShed.WithLabel(clientID(r)))
+}
+
 // admit runs the shared admission checks for compute submissions:
 // drain refusal, per-client quota, shed mode. It reports whether the
 // request may proceed to the queue (and has already written the
@@ -460,7 +599,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	if ok, retry := s.quotas.Allow(clientID(r)); !ok {
-		s.quotaRejected.Add(1)
+		cinc(s.met.quotaRejected)
+		cinc(s.met.clientQuota.WithLabel(clientID(r)))
 		shedError(w, retry, "client quota exhausted")
 		return false
 	}
@@ -547,7 +687,8 @@ type specResponse struct {
 // to the queue (or shed). ?wait=1 blocks until the job finishes and
 // returns the result inline.
 func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
-	s.submissions.Add(1)
+	cinc(s.met.submissions)
+	cinc(s.met.clientSubmits.WithLabel(clientID(r)))
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
@@ -572,7 +713,7 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	// Cache hits are served even while shedding or over quota: they
 	// cost a disk read, not a simulation.
 	if payload, err := s.getRecord(fp); err == nil {
-		s.cacheHitCells.Add(1)
+		cinc(s.met.cacheHitCells)
 		writeJSON(w, http.StatusOK, specResponse{Fingerprint: fp, Cached: true, Result: payload})
 		return
 	}
@@ -581,7 +722,7 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.shedding.Load() {
-		s.shedCount.Add(1)
+		s.shed(r)
 		shedError(w, 5*time.Second, "load shedding: compute submissions rejected")
 		return
 	}
@@ -590,9 +731,10 @@ func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
 	}
 	work := jobWork{cells: []scenario.Cell{{Name: norm.Name, Spec: norm}}, fps: []string{fp}}
 	j := s.newJobRecord("spec", norm.Name, clientID(r), work, s.budgetFor(r))
+	j.setCaptureTrace(r.URL.Query().Get("trace") != "")
 	if !s.enqueue(j) {
 		s.dropJob(j)
-		s.shedCount.Add(1)
+		s.shed(r)
 		shedError(w, 2*time.Second, "submission queue full")
 		return
 	}
@@ -647,7 +789,8 @@ func (s *Server) waitAndReply(w http.ResponseWriter, r *http.Request, j *job, fp
 // handleGrid answers POST /v1/grids: expand, fingerprint every cell,
 // serve all-cached grids immediately, admit the rest to the queue.
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
-	s.submissions.Add(1)
+	cinc(s.met.submissions)
+	cinc(s.met.clientSubmits.WithLabel(clientID(r)))
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
@@ -690,7 +833,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	// record discovered here downgrades to a compute submission.
 	if cached == len(cells) {
 		if res, ok := s.assembleCached(grid.Name, cells, fps); ok {
-			s.cacheHitCells.Add(int64(len(cells)))
+			cadd(s.met.cacheHitCells, int64(len(cells)))
 			writeJSON(w, http.StatusOK, map[string]any{"cached": true, "sweep": res})
 			return
 		}
@@ -700,7 +843,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.shedding.Load() {
-		s.shedCount.Add(1)
+		s.shed(r)
 		shedError(w, 5*time.Second, "load shedding: compute submissions rejected")
 		return
 	}
@@ -709,9 +852,10 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		name = "grid"
 	}
 	j := s.newJobRecord("grid", name, clientID(r), jobWork{cells: cells, fps: fps}, s.budgetFor(r))
+	j.setCaptureTrace(r.URL.Query().Get("trace") != "")
 	if !s.enqueue(j) {
 		s.dropJob(j)
-		s.shedCount.Add(1)
+		s.shed(r)
 		shedError(w, 2*time.Second, "submission queue full")
 		return
 	}
@@ -786,6 +930,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+	streamStart := time.Now()
+	defer func() { j.recordSpan("stream", "events", streamStart, time.Now(), "") }()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	var after int64
@@ -878,7 +1024,10 @@ func (s *Server) Stats() StatsView {
 	for _, j := range jobs {
 		states[string(j.state())]++
 	}
-	hits, computed := s.cacheHitCells.Load(), s.computedCells.Load()
+	// The counter fields are Value() reads over the telemetry registry
+	// — /statsz is a JSON view over the same source of truth /metricsz
+	// renders (zero when telemetry is disabled).
+	hits, computed := s.met.cacheHitCells.Value(), s.met.computedCells.Value()
 	ratio := 0.0
 	if hits+computed > 0 {
 		ratio = float64(hits) / float64(hits+computed)
@@ -891,16 +1040,16 @@ func (s *Server) Stats() StatsView {
 		QueueCap:      cap(s.queue),
 		JobActive:     s.jobActive.Load(),
 		JobStates:     states,
-		Submissions:   s.submissions.Load(),
-		Shed:          s.shedCount.Load(),
-		QuotaRejected: s.quotaRejected.Load(),
+		Submissions:   s.met.submissions.Value(),
+		Shed:          s.met.shed.Value(),
+		QuotaRejected: s.met.quotaRejected.Value(),
 		QuotaClients:  s.quotas.Clients(),
 		CacheHitCells: hits,
 		ComputedCells: computed,
-		FaultedCells:  s.faultedCells.Load(),
-		RepairedCells: s.repairedCells.Load(),
+		FaultedCells:  s.met.faultedCells.Value(),
+		RepairedCells: s.met.repairedCells.Value(),
 
-		DeterminismMismatches: s.mismatches.Load(),
+		DeterminismMismatches: s.met.mismatches.Value(),
 		HitRatio:              ratio,
 		Store:                 s.store.Stats(),
 	}
