@@ -29,6 +29,10 @@
 //
 // The -compare gate exits non-zero when the current run regresses
 // beyond the noise threshold (-compare-threshold, default 0.5 = 50%).
+// -compare may repeat: one collection is gated against every baseline,
+// and every regression from every baseline is reported before the one
+// non-zero exit — a multi-metric regression is diagnosable from a
+// single run's log.
 // Timing comparisons only mean something between runs on the same
 // machine; against a snapshot committed from different hardware, use
 // -compare-allocs-only (fingerprint, allocs/op, bytes/op).
@@ -74,14 +78,18 @@ func main() {
 		outFile = flag.String("out", "", "with -sweep: write the machine-readable per-cell results to this JSON file")
 		remote  = flag.String("remote", "", "with -sweep: submit to the vmpd daemon at this base URL instead of running locally")
 		bench   = flag.String("bench", "", "collect the hot-path benchmark snapshot and write it to this JSON file (e.g. BENCH_6.json)")
-		compare = flag.String("compare", "", "gate the collected snapshot against this baseline BENCH_<n>.json; exits non-zero on regression")
 		cmpTh   = flag.Float64("compare-threshold", 0, "allowed fractional timing slowdown before -compare flags a regression (0 = default 0.5)")
 		cmpAO   = flag.Bool("compare-allocs-only", false, "restrict -compare to machine-independent facts (fingerprint, allocs/op, bytes/op)")
 	)
+	var compares []string
+	flag.Func("compare", "gate the collected snapshot against this baseline BENCH_<n>.json (repeatable); all regressions from every baseline are reported before the non-zero exit", func(v string) error {
+		compares = append(compares, v)
+		return nil
+	})
 	flag.Parse()
 
-	if *bench != "" || *compare != "" {
-		runBench(*bench, *compare, perf.CompareOptions{Threshold: *cmpTh, AllocsOnly: *cmpAO})
+	if *bench != "" || len(compares) > 0 {
+		runBench(*bench, compares, perf.CompareOptions{Threshold: *cmpTh, AllocsOnly: *cmpAO})
 		return
 	}
 
@@ -157,7 +165,7 @@ func main() {
 // reviewable; the numbers are host-dependent, so full timing compares
 // only mean something between runs on comparable machines (the CI gate
 // uses -compare-allocs-only for the committed snapshot).
-func runBench(path, comparePath string, cmpOpts perf.CompareOptions) {
+func runBench(path string, comparePaths []string, cmpOpts perf.CompareOptions) {
 	snap, err := perf.Collect()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmpbench:", err)
@@ -182,11 +190,20 @@ func runBench(path, comparePath string, cmpOpts perf.CompareOptions) {
 		fmt.Printf("wrote %s\n", path)
 	}
 
-	if comparePath != "" {
+	// Every baseline is compared and every regression reported before
+	// the single exit: a run that regresses on several metrics (or
+	// against several baselines) is fully diagnosable from one log.
+	exit := 0
+	mode := "full"
+	if cmpOpts.AllocsOnly {
+		mode = "allocs-only"
+	}
+	for _, comparePath := range comparePaths {
 		base, err := perf.ReadSnapshot(comparePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vmpbench:", err)
-			os.Exit(2)
+			exit = 2
+			continue
 		}
 		regs := perf.Compare(base, snap, cmpOpts)
 		if len(regs) > 0 {
@@ -194,13 +211,15 @@ func runBench(path, comparePath string, cmpOpts perf.CompareOptions) {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, " ", r)
 			}
-			os.Exit(1)
-		}
-		mode := "full"
-		if cmpOpts.AllocsOnly {
-			mode = "allocs-only"
+			if exit == 0 {
+				exit = 1
+			}
+			continue
 		}
 		fmt.Printf("no regressions against %s (%s compare)\n", comparePath, mode)
+	}
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }
 

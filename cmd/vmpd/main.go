@@ -73,6 +73,7 @@ func main() {
 	var (
 		listen       = flag.String("listen", ":8347", "HTTP listen address")
 		storeDir     = flag.String("store", "vmpd-store", "result store directory")
+		storeMax     = flag.Int64("store-max-bytes", 0, "result store size cap in bytes; LRU eviction past it (0 = unbounded)")
 		workers      = flag.Int("workers", 0, "cell concurrency inside a job (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 16, "submission queue depth (backpressure bound)")
 		quotaRate    = flag.Float64("quota-rate", 5, "per-client admissions per second")
@@ -95,16 +96,17 @@ func main() {
 	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv, err := serve.New(serve.Config{
-		StoreDir:     *storeDir,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		QuotaRate:    *quotaRate,
-		QuotaBurst:   *quotaBurst,
-		JobBudget:    *budget,
-		MaxJobBudget: *maxBudget,
-		MaxCells:     *maxCells,
-		Shed:         *shed,
-		Log:          log,
+		StoreDir:      *storeDir,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		QuotaRate:     *quotaRate,
+		QuotaBurst:    *quotaBurst,
+		JobBudget:     *budget,
+		MaxJobBudget:  *maxBudget,
+		MaxCells:      *maxCells,
+		StoreMaxBytes: *storeMax,
+		Shed:          *shed,
+		Log:           log,
 	})
 	if err != nil {
 		log.Error("startup failed", "err", err)
@@ -112,7 +114,8 @@ func main() {
 	}
 	st := srv.Stats()
 	log.Info("store opened", "dir", *storeDir,
-		"quarantined", st.Store.Quarantined, "recovered_partials", st.Store.RecoveredPartials)
+		"quarantined", st.Store.Quarantined, "recovered_partials", st.Store.RecoveredPartials,
+		"evicted", st.Store.Evictions)
 
 	handler := srv.Handler()
 	if *withPprof {

@@ -55,6 +55,7 @@ func main() {
 		assoc       = flag.Int("assoc", 4, "cache associativity (1-4 in the prototype)")
 		memSize     = flag.Int("mem", 8<<20, "main memory size in bytes")
 		fifo        = flag.Int("fifo", 128, "bus monitor FIFO depth")
+		buses       = flag.Int("buses", 1, "local buses in a hierarchical interconnect (1 = the flat VMEbus; boards spread evenly)")
 		profile     = flag.String("profile", "edit", "synthetic trace profile per board")
 		traceFile   = flag.String("trace", "", "binary trace file replayed on every board (overrides -profile)")
 		n           = flag.Int("n", 200_000, "references per board")
@@ -106,6 +107,9 @@ func main() {
 			Protocol: *protoFlag,
 			Faults:   *faults,
 			Check:    *checkFlag,
+		}
+		if *buses > 1 {
+			spec.Topology = &scenario.TopologySpec{Buses: *buses}
 		}
 		if *traceFile != "" {
 			spec.Workload.Kind = scenario.WorkloadTrace

@@ -44,6 +44,11 @@ type Config struct {
 	Protocols []string
 	// Processors per machine (default 4).
 	Processors int
+	// Topology is the interconnect shape (zero value = the classic
+	// single shared bus). A multi-bus shape routes the plan's heavy
+	// cross-CPU sharing over the inter-bus link, so the oracle also
+	// exercises the inclusion filter and cross-segment consistency.
+	Topology bus.Topology
 	// Seed feeds the plan generator and the fault injector.
 	Seed uint64
 	// Faults is a fault plan in internal/fault's textual form ("" = no
@@ -275,6 +280,7 @@ func runOne(name string, pl *plan, fs *fault.Spec, newMachine func(core.Config) 
 		Cache:      cache.Geometry(cfg.CacheKB<<10, cfg.PageSize, 4),
 		MemorySize: 8 << 20,
 		Protocol:   name,
+		Topology:   cfg.Topology,
 		Watchdog:   true,
 	}
 	if fs.Enabled() {

@@ -3,6 +3,8 @@ package diff
 import (
 	"fmt"
 	"testing"
+
+	"vmp/internal/bus"
 )
 
 // TestDifferentialNoFaults pins the fault-free differential run: every
@@ -110,6 +112,46 @@ func TestDifferentialThrash(t *testing.T) {
 		Pages:     10,
 		Aliases:   4,
 		OpsPerCPU: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertClean(t, rep)
+}
+
+// TestDifferentialMultiBus runs the oracle on hierarchical machines:
+// the plan's heavy cross-CPU sharing (every shared page, the lock and
+// the counter) must cross the inter-bus link, so a clean report here
+// covers the inclusion filter, cross-segment checks and the link-level
+// fault path under all three protocols.
+func TestDifferentialMultiBus(t *testing.T) {
+	shapes := []bus.Topology{
+		{Buses: 2, BoardsPerBus: 2},
+		{Buses: 4, BoardsPerBus: 2},
+	}
+	for _, topo := range shapes {
+		topo := topo
+		t.Run(fmt.Sprintf("buses%d", topo.Buses), func(t *testing.T) {
+			rep, err := Run(Config{
+				Seed:       13,
+				Processors: topo.Buses * topo.BoardsPerBus,
+				Topology:   topo,
+				OpsPerCPU:  150,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertClean(t, rep)
+		})
+	}
+	// And under an injected fault plan, which also drives the
+	// link-level transient-abort path.
+	rep, err := Run(Config{
+		Seed:       19,
+		Processors: 4,
+		Topology:   bus.Topology{Buses: 2, BoardsPerBus: 2},
+		Faults:     "abort=0.05,fifo=4,storm=0.1",
+		OpsPerCPU:  120,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -29,7 +29,7 @@ const reissueShiftCap = 6
 // Copier is one board's block-copy engine. Create with New.
 type Copier struct {
 	eng     *sim.Engine
-	bus     *bus.Bus
+	bus     bus.Interconnect
 	boardID int
 
 	busy   bool
@@ -58,7 +58,7 @@ type copierCounters struct {
 
 // New creates a copier for the given board, registering its counters in
 // the engine's per-run recorder under "board<i>/copier/...".
-func New(eng *sim.Engine, b *bus.Bus, boardID int) *Copier {
+func New(eng *sim.Engine, b bus.Interconnect, boardID int) *Copier {
 	prefix := fmt.Sprintf("board%d/copier/", boardID)
 	rec := eng.Recorder()
 	return &Copier{

@@ -36,6 +36,11 @@ type Config struct {
 	Timing Timing
 	// BusTiming overrides bus latencies when non-zero.
 	BusTiming bus.Timing
+	// Topology selects the interconnect shape: the zero value (or any
+	// Buses <= 1) is the classic single shared VMEbus; Buses > 1 builds
+	// the hierarchical multi-bus interconnect (local bus segments joined
+	// by an inclusion-filtered inter-bus link, see bus.Hierarchy).
+	Topology bus.Topology
 	// Policy decides PTE permissions for demand-zero faults (nil =
 	// vm.DefaultPolicy).
 	Policy vm.PagePolicy
@@ -107,6 +112,9 @@ func (c Config) Validate() error {
 	if _, err := protocol.Get(c.Protocol); err != nil {
 		return &ConfigError{"Protocol", err.Error()}
 	}
+	if err := c.Topology.Validate(c.Processors); err != nil {
+		return &ConfigError{"Topology", err.Error()}
+	}
 	return nil
 }
 
@@ -138,12 +146,18 @@ func (c *Config) FillDefaults() {
 	if c.Faults != nil && c.Faults.Enabled() {
 		c.Watchdog = true
 	}
+	if c.Topology.Buses <= 0 {
+		c.Topology.Buses = 1
+	}
+	if c.Topology.Buses > 1 && c.Topology.BoardsPerBus <= 0 {
+		c.Topology.BoardsPerBus = (c.Processors + c.Topology.Buses - 1) / c.Topology.Buses
+	}
 }
 
 // Machine is a configured VMP multiprocessor.
 type Machine struct {
 	Eng    *sim.Engine
-	Bus    *bus.Bus
+	Bus    bus.Interconnect
 	Mem    *memory.Memory
 	VM     *vm.VM
 	Boards []*Board
@@ -197,9 +211,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	eng := sim.NewEngine()
 	mem := memory.New(cfg.MemorySize, cfg.Cache.PageSize)
+	var ic bus.Interconnect
+	if cfg.Topology.SingleBus() {
+		ic = bus.New(eng)
+	} else {
+		ic = bus.NewHierarchy(eng, cfg.Topology, cfg.Cache.PageSize)
+	}
 	m := &Machine{
 		Eng:         eng,
-		Bus:         bus.New(eng),
+		Bus:         ic,
 		Mem:         mem,
 		VM:          vm.New(mem),
 		cfg:         cfg,

@@ -182,6 +182,7 @@ var Registry = []Experiment{
 	{"fault-sweep", "protocol survival under deterministic fault injection", "Sections 3.1-3.4", Moderate, FaultSweep},
 	{"misscost", "per-phase miss-cost breakdown from the event stream", "Table 2", Moderate, MissCost},
 	{"protocol-compare", "coherence protocols under the differential oracle", "Section 3.2", Moderate, ProtocolCompare},
+	{"topology", "hierarchical multi-bus scaling vs the queuing model", "Section 5.3", Heavy, AblationTopology},
 }
 
 // byID indexes Registry for dispatch.

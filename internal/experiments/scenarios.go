@@ -90,6 +90,35 @@ func scalingGrid(o Options) *scenario.Grid {
 	}
 }
 
+// topologyGrid is the hierarchical-interconnect sweep: a 64-board
+// machine running independent edit traces, with the board count fixed
+// and the number of local bus segments swept via the dotted topology
+// stanza (boards_per_bus normalizes to an even spread). buses=1 is the
+// classic single shared VMEbus far past its Section 5.3 saturation
+// point — the case the hierarchy exists to fix.
+func topologyGrid(o Options) *scenario.Grid {
+	refsPer := 12_000
+	buses := scenario.Values(1, 2, 4, 8, 16)
+	if o.Quick {
+		refsPer = 2_500
+		buses = scenario.Values(1, 4, 8)
+	}
+	m := machineSpec(64, 64<<10)
+	// 64 boards touch far more distinct pages than the prototype's 8 MB
+	// holds; the hierarchy models a bigger multi-ported memory anyway.
+	m.MemorySize = 32 << 20
+	return &scenario.Grid{
+		Name: "topology",
+		Base: scenario.Spec{
+			Machine:  m,
+			Workload: scenario.WorkloadSpec{Kind: scenario.WorkloadProfile, Profile: "edit", Refs: refsPer},
+		},
+		Axes: []scenario.Axis{
+			{Path: "topology.buses", Values: buses},
+		},
+	}
+}
+
 // pageContentionGrid is the false-sharing sweep: four writers sharing
 // one page at each VMP page size.
 func pageContentionGrid(Options) *scenario.Grid {
@@ -185,6 +214,7 @@ var scenarioGrids = map[string]func(Options) *scenario.Grid{
 	"copier":      singleCell("copier", scenario.Spec{Machine: machineSpec(1, 128<<10), Workload: none}),
 	"readprivate": singleCell("readprivate", scenario.Spec{Machine: machineSpec(1, 128<<10), Workload: none}),
 	"scaling":     scalingGrid,
+	"topology":    topologyGrid,
 	"fifo": func(Options) *scenario.Grid {
 		return &scenario.Grid{
 			Name: "fifo",

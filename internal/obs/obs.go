@@ -59,6 +59,7 @@ const (
 	KindOverflow              // monitor FIFO word dropped (overflow)
 	KindCopy                  // copier block transfer; Arg is the bus.Op
 	KindViolation             // invariant watchdog recorded a violation
+	KindLink                  // inter-bus link crossing; Arg is the bus.Op
 	numKinds
 )
 
@@ -77,6 +78,8 @@ func (k Kind) String() string {
 		return "copy"
 	case KindViolation:
 		return "violation"
+	case KindLink:
+		return "link"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -170,7 +173,7 @@ type Event struct {
 // pinned test).
 func ArgName(k Kind, arg uint8) string {
 	switch k {
-	case KindBus, KindIntr, KindCopy:
+	case KindBus, KindIntr, KindCopy, KindLink:
 		if int(arg) < int(busop.NumOps) {
 			return busop.Op(arg).String()
 		}

@@ -17,6 +17,13 @@ import (
 // scheme leaves room for any board count.
 const (
 	busTID = 1
+	// linkTID is the inter-bus link track of a hierarchical machine.
+	linkTID = 990
+	// Bus segment s of a hierarchical machine is segTIDBase+s. KindBus
+	// events tag their segment in the ASID byte as 1+segment (0 is
+	// reserved, so single-bus streams — which always carry 0 there —
+	// keep their historical single-track rendering).
+	segTIDBase = 1000
 	// board i's CPU track is boardTIDBase+2i, its copier boardTIDBase+2i+1.
 	boardTIDBase = 10
 )
@@ -27,8 +34,15 @@ func copierTID(board int16) int { return boardTIDBase + 2*int(board) + 1 }
 // traceTID places an event on its track.
 func traceTID(e Event) int {
 	switch e.Kind {
-	case KindBus, KindViolation:
+	case KindBus:
+		if e.ASID > 0 {
+			return segTIDBase + int(e.ASID) - 1
+		}
 		return busTID
+	case KindViolation:
+		return busTID
+	case KindLink:
+		return linkTID
 	case KindCopy:
 		return copierTID(e.Board)
 	default:
@@ -39,13 +53,16 @@ func traceTID(e Event) int {
 // traceName names an event for the track viewer.
 func traceName(e Event) string {
 	switch e.Kind {
-	case KindBus, KindIntr, KindCopy:
+	case KindBus, KindIntr, KindCopy, KindLink:
 		n := ArgName(e.Kind, e.Arg)
 		if e.Kind == KindIntr {
 			return "intr:" + n
 		}
 		if e.Kind == KindCopy {
 			return "copy:" + n
+		}
+		if e.Kind == KindLink {
+			return "link:" + n
 		}
 		return n
 	case KindPhase:
@@ -82,10 +99,26 @@ func WriteTrace(w io.Writer, events []Event) error {
 	}
 	addTrack(busTID, "bus")
 	maxBoard := int16(-1)
+	maxSeg, haveLink := 0, false
 	for _, e := range events {
 		if e.Board > maxBoard {
 			maxBoard = e.Board
 		}
+		if e.Kind == KindBus && int(e.ASID) > maxSeg {
+			maxSeg = int(e.ASID)
+		}
+		if e.Kind == KindLink {
+			haveLink = true
+		}
+	}
+	// Hierarchical streams tag bus events with 1+segment; single-bus
+	// streams carry 0 and add no tracks here, keeping their historical
+	// document byte-identical.
+	for s := 1; s <= maxSeg; s++ {
+		addTrack(segTIDBase+s-1, fmt.Sprintf("bus/seg%d", s-1))
+	}
+	if haveLink {
+		addTrack(linkTID, "bus/link")
 	}
 	for b := int16(0); b <= maxBoard; b++ {
 		addTrack(cpuTID(b), fmt.Sprintf("board%d", b))

@@ -135,3 +135,51 @@ func TestReadSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("missing snapshot must error")
 	}
 }
+
+// TestCompareReportsAllRegressions pins the gate's reporting contract:
+// a snapshot that regresses on several independent metrics at once gets
+// every one of them in the returned list — no first-hit short-circuit —
+// so a multi-metric regression is diagnosable from a single run's log.
+func TestCompareReportsAllRegressions(t *testing.T) {
+	base := baseSnapshot()
+	cur := baseSnapshot()
+	cur.Macro.Fingerprint = "0000000000000000"           // determinism break
+	cur.Macro.EventsPerSec = base.Macro.EventsPerSec / 4 // timing collapse
+	cur.Micro[0].AllocsPerOp = 5                         // zero-alloc path lost
+	cur.Micro[1].NsPerOp = base.Micro[1].NsPerOp * 3     // micro slowdown
+	cur.Micro = cur.Micro[:2]
+	base.Micro = append(base.Micro, Micro{Name: "gone/bench", NsPerOp: 1}) // dropped coverage
+
+	regs := Compare(base, cur, CompareOptions{})
+	want := [][2]string{
+		{"macro", "fingerprint"},
+		{"macro", "events_per_sec"},
+		{"engine/schedule-fire", "allocs_per_op"},
+		{"serve/store-put", "ns_per_op"},
+		{"gone/bench", "presence"},
+	}
+	for _, w := range want {
+		if findReg(regs, w[0], w[1]) == nil {
+			t.Errorf("missing regression %s/%s in %v", w[0], w[1], regs)
+		}
+	}
+	if len(regs) < len(want) {
+		t.Errorf("got %d regressions, want at least %d", len(regs), len(want))
+	}
+
+	// The allocs-only view still reports every machine-independent fact
+	// together.
+	ao := Compare(base, cur, CompareOptions{AllocsOnly: true})
+	for _, w := range [][2]string{
+		{"macro", "fingerprint"},
+		{"engine/schedule-fire", "allocs_per_op"},
+		{"gone/bench", "presence"},
+	} {
+		if findReg(ao, w[0], w[1]) == nil {
+			t.Errorf("allocs-only missing %s/%s in %v", w[0], w[1], ao)
+		}
+	}
+	if findReg(ao, "serve/store-put", "ns_per_op") != nil {
+		t.Error("allocs-only compare reported a timing figure")
+	}
+}

@@ -134,6 +134,8 @@ func Collect() (*Snapshot, error) {
 	}{
 		{"engine/schedule-fire", benchEngine},
 		{"bus/transaction", benchBus},
+		{"interconnect/local-hit", benchInterconnectLocal},
+		{"interconnect/cross-link", benchInterconnectCross},
 		{"cache/lookup", benchCache},
 		{"monitor/check", benchMonitor},
 		{"serve/store-put", benchStorePut},
@@ -335,4 +337,79 @@ func benchMonitor(b *testing.B) {
 			Requester: i % 4,
 		})
 	}
+}
+
+// benchInterconnectLocal measures a consistency transaction that the
+// hierarchy's inclusion filter keeps on its home segment: directory
+// probe, frame lock, home check window — no link crossing. The filter's
+// whole point is that this path costs one bus, so it must stay
+// zero-alloc like the flat bus transaction.
+func benchInterconnectLocal(b *testing.B) {
+	eng := sim.NewEngine()
+	topo := bus.Topology{Buses: 2, BoardsPerBus: 2}
+	h := bus.NewHierarchy(eng, topo, 256)
+	for id := 0; id < 4; id++ {
+		h.Attach(monitor.New(id, 1024, 256, 128, nil))
+	}
+	tx := func(i int) bus.Transaction {
+		return bus.Transaction{
+			Op:        bus.ReadShared,
+			PAddr:     uint32((i % 1024) * 256),
+			Requester: 0,
+			Bytes:     256,
+		}
+	}
+	// Prewarm the lazy directory entries and per-board counters so the
+	// steady state measures the hit path, not first-touch setup.
+	eng.Spawn("warm", func(p *sim.Process) {
+		for i := 0; i < 1024; i++ {
+			h.Do(p, tx(i))
+		}
+	})
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *sim.Process) {
+		for i := 0; i < b.N; i++ {
+			h.Do(p, tx(i))
+		}
+	})
+	eng.Run()
+}
+
+// benchInterconnectCross measures the same transaction when a remote
+// segment holds the page: the directory forwards it across the
+// inter-bus link and runs the remote check window too, so the figure
+// bounds the cost ratio against the local hit above.
+func benchInterconnectCross(b *testing.B) {
+	eng := sim.NewEngine()
+	topo := bus.Topology{Buses: 2, BoardsPerBus: 2}
+	h := bus.NewHierarchy(eng, topo, 256)
+	for id := 0; id < 4; id++ {
+		h.Attach(monitor.New(id, 1024, 256, 128, nil))
+	}
+	// Board 2 (segment 1) reads every page first: its table entries go
+	// Shared and the filter records segment 1's presence, so every later
+	// transaction from board 0 must cross the link.
+	eng.Spawn("warm", func(p *sim.Process) {
+		for i := 0; i < 1024; i++ {
+			h.Do(p, bus.Transaction{
+				Op: bus.ReadShared, PAddr: uint32(i * 256), Requester: 2, Bytes: 256,
+			})
+		}
+	})
+	eng.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Spawn("bench", func(p *sim.Process) {
+		for i := 0; i < b.N; i++ {
+			h.Do(p, bus.Transaction{
+				Op:        bus.ReadShared,
+				PAddr:     uint32((i % 1024) * 256),
+				Requester: 0,
+				Bytes:     256,
+			})
+		}
+	})
+	eng.Run()
 }

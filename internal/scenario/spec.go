@@ -59,6 +59,11 @@ type Spec struct {
 	// region, notification dispatch) and optionally a round-robin
 	// scheduler per board.
 	Kernel *KernelSpec `json:"kernel,omitempty"`
+	// Topology selects the interconnect shape. Omitted — or any shape
+	// with buses <= 1 — is the classic single shared VMEbus and
+	// normalizes away entirely, so pre-existing spec fingerprints are
+	// unchanged.
+	Topology *TopologySpec `json:"topology,omitempty"`
 	// Protocol selects the coherence protocol by registry name ("vmp2",
 	// "vmp3", "rlt"). Empty or "vmp2" normalizes to empty: the default
 	// protocol adds nothing to the canonical form, so pre-existing spec
@@ -139,6 +144,19 @@ type WorkloadSpec struct {
 	AsmBase uint32 `json:"asm_base,omitempty"`
 }
 
+// TopologySpec is the serializable interconnect shape (the data form
+// of bus.Topology): boards grouped onto local bus segments joined by an
+// inclusion-filtered inter-bus link. The single-bus default carries no
+// stanza at all in the canonical form.
+type TopologySpec struct {
+	// Buses is the number of local bus segments (<= 1 means the classic
+	// single shared VMEbus).
+	Buses int `json:"buses,omitempty"`
+	// BoardsPerBus seats board i on segment i/BoardsPerBus; 0 spreads
+	// the boards evenly across the segments.
+	BoardsPerBus int `json:"boards_per_bus,omitempty"`
+}
+
 // KernelSpec attaches the kernel layer and optionally a scheduler.
 type KernelSpec struct {
 	// UncachedPages sizes the non-cached global region in VM pages
@@ -204,6 +222,18 @@ func (s *Spec) Normalize() error {
 	}
 	if m.MemorySize == 0 {
 		m.MemorySize = 8 << 20
+	}
+
+	// Canonicalize the topology: the single-bus default carries no
+	// stanza (fingerprint compatibility); a multi-bus shape gets its
+	// boards-per-bus resolved so equivalent shapes fingerprint
+	// identically.
+	if t := s.Topology; t != nil {
+		if t.Buses <= 1 {
+			s.Topology = nil
+		} else if t.BoardsPerBus == 0 {
+			t.BoardsPerBus = (m.Processors + t.Buses - 1) / t.Buses
+		}
 	}
 
 	w := &s.Workload
@@ -293,7 +323,17 @@ func (s *Spec) Normalize() error {
 
 	// Machine geometry is validated by the single core.Config.Validate.
 	cfg := s.Machine.Config()
+	cfg.Topology = s.topology()
 	return cfg.Validate()
+}
+
+// topology converts the stanza to the bus package's value form (the
+// zero value for the single-bus default).
+func (s *Spec) topology() bus.Topology {
+	if s.Topology == nil {
+		return bus.Topology{}
+	}
+	return bus.Topology{Buses: s.Topology.Buses, BoardsPerBus: s.Topology.BoardsPerBus}
 }
 
 // Config converts the machine description to a default-filled
@@ -323,6 +363,7 @@ func (ms MachineSpec) Config() core.Config {
 // plus fault plan, watchdog and observability sink.
 func (s *Spec) config() (core.Config, error) {
 	cfg := s.Machine.Config()
+	cfg.Topology = s.topology()
 	if s.Protocol != "" {
 		cfg.Protocol = s.Protocol
 	}

@@ -85,6 +85,15 @@ func registerServerGauges(reg *telemetry.Registry, s *Server) {
 	reg.GaugeFunc("vmpd_uptime_seconds", "Seconds since the daemon started.", func() float64 {
 		return time.Since(s.started).Seconds()
 	})
+	// The store owns its eviction counter (sweeps run inside Put, under
+	// the store's own lock), so it is surfaced live rather than
+	// double-booked into a registry counter.
+	reg.GaugeFunc("vmpd_store_evictions_total", "Records evicted by the store's LRU size cap.", func() float64 {
+		return float64(s.store.Stats().Evictions)
+	})
+	reg.GaugeFunc("vmpd_store_max_bytes", "Configured store size cap (0 = unbounded).", func() float64 {
+		return float64(s.cfg.StoreMaxBytes)
+	})
 }
 
 func b2f(b bool) float64 {

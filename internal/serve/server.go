@@ -47,6 +47,10 @@ type Config struct {
 	MaxCells int
 	// MaxBodyBytes caps a submission body (default 8 MB).
 	MaxBodyBytes int64
+	// StoreMaxBytes caps the result store's total object bytes;
+	// past it the least-recently-used records are evicted (swept at
+	// startup and after every put). 0 means unbounded.
+	StoreMaxBytes int64
 	// Shed starts the daemon in load-shedding mode: compute
 	// submissions are rejected, cache hits still served.
 	Shed bool
@@ -151,6 +155,11 @@ func New(cfg Config) (*Server, error) {
 	store, err := OpenStore(cfg.StoreDir)
 	if err != nil {
 		return nil, err
+	}
+	// The startup sweep: enforce the size cap against whatever survived
+	// the recovery scan before serving anything.
+	if err := store.SetMaxBytes(cfg.StoreMaxBytes); err != nil {
+		return nil, fmt.Errorf("serve: store eviction sweep: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := cfg.Metrics

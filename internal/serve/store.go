@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Store file format: payload || checksum || magic.
@@ -68,6 +69,7 @@ type StoreStats struct {
 	Corruptions       int64 `json:"corruptions"`
 	Quarantined       int64 `json:"quarantined"`
 	RecoveredPartials int64 `json:"recovered_partials"`
+	Evictions         int64 `json:"evictions"`
 }
 
 // Store is a crash-safe content-addressed result store keyed by Spec
@@ -82,10 +84,13 @@ type Store struct {
 	// *different* fingerprints would be safe without it, but the
 	// directory fsync is simplest done under one lock.
 	writeMu sync.Mutex
+	// maxBytes caps the total object bytes on disk; 0 means unbounded.
+	// Guarded by writeMu (only read on the write path).
+	maxBytes int64
 
 	puts, gets, hits, misses atomic.Int64
 	corruptions, quarantined atomic.Int64
-	recovered                atomic.Int64
+	recovered, evictions     atomic.Int64
 }
 
 // OpenStore opens (creating if needed) a store rooted at dir and runs
@@ -119,7 +124,67 @@ func (s *Store) Stats() StoreStats {
 		Corruptions:       s.corruptions.Load(),
 		Quarantined:       s.quarantined.Load(),
 		RecoveredPartials: s.recovered.Load(),
+		Evictions:         s.evictions.Load(),
 	}
+}
+
+// SetMaxBytes caps the store's total object bytes (0 removes the cap)
+// and immediately sweeps down to the new limit — the startup sweep when
+// called right after OpenStore. Records are evicted least-recently-used
+// first; the store maintains its own recency via Chtimes on every hit,
+// so the order survives relatime/noatime mounts.
+func (s *Store) SetMaxBytes(n int64) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.maxBytes = n
+	return s.evictLocked()
+}
+
+// evictLocked removes oldest-first (by the store-maintained access
+// time, fingerprint as a deterministic tiebreak) until total object
+// bytes fit under maxBytes. Caller holds writeMu.
+func (s *Store) evictLocked() error {
+	if s.maxBytes <= 0 {
+		return nil
+	}
+	type object struct {
+		fp    string
+		path  string
+		size  int64
+		atime time.Time
+	}
+	var objs []object
+	var total int64
+	if err := s.walkObjects(func(fp, path string, size int64) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return // raced with quarantine
+		}
+		objs = append(objs, object{fp, path, size, fi.ModTime()})
+		total += size
+	}); err != nil {
+		return err
+	}
+	if total <= s.maxBytes {
+		return nil
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if !objs[i].atime.Equal(objs[j].atime) {
+			return objs[i].atime.Before(objs[j].atime)
+		}
+		return objs[i].fp < objs[j].fp
+	})
+	for _, o := range objs {
+		if total <= s.maxBytes {
+			break
+		}
+		if err := os.Remove(o.path); err != nil {
+			continue // keep sweeping; the object stays counted against later sweeps
+		}
+		total -= o.size
+		s.evictions.Add(1)
+	}
+	return nil
 }
 
 // ValidFingerprint reports whether fp is a well-formed content
@@ -229,6 +294,9 @@ func (s *Store) Put(fp string, payload []byte) error {
 		return fmt.Errorf("serve: store put %s: %w", fp, err)
 	}
 	s.puts.Add(1)
+	// Best-effort sweep while still holding writeMu: an eviction failure
+	// must not fail the put that durably landed.
+	_ = s.evictLocked()
 	return nil
 }
 
@@ -267,6 +335,10 @@ func (s *Store) Get(fp string) ([]byte, error) {
 		return nil, &CorruptError{Fingerprint: fp, Reason: reason, Quarantine: q}
 	}
 	s.hits.Add(1)
+	// Bump the record's recency so LRU eviction sees hits even on
+	// relatime/noatime mounts (best-effort; a failure just ages it).
+	now := time.Now()
+	_ = os.Chtimes(s.objectPath(fp), now, now)
 	return payload, nil
 }
 

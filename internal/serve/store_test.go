@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func testStore(t *testing.T) *Store {
@@ -349,4 +350,102 @@ func FuzzUnseal(f *testing.F) {
 			}
 		}
 	})
+}
+
+// age back-dates a stored record so eviction order is deterministic
+// regardless of filesystem timestamp granularity.
+func age(t *testing.T, s *Store, fp string, d time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-d)
+	if err := os.Chtimes(s.objectPath(fp), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreEvictionLRU pins the size cap: the sweep removes records
+// oldest-access-first until total object bytes fit, counts each
+// eviction, and leaves fresher records untouched.
+func TestStoreEvictionLRU(t *testing.T) {
+	s := testStore(t)
+	payload := bytes.Repeat([]byte("x"), 100) // 112 bytes sealed
+	fps := []string{
+		"aa00000000000000",
+		"bb00000000000000",
+		"cc00000000000000",
+	}
+	for i, fp := range fps {
+		if err := s.Put(fp, payload); err != nil {
+			t.Fatal(err)
+		}
+		age(t, s, fp, time.Duration(len(fps)-i)*time.Hour) // aa oldest
+	}
+
+	// Room for exactly two sealed records.
+	if err := s.SetMaxBytes(2 * 112); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(fps[0]) {
+		t.Error("oldest record survived the sweep")
+	}
+	if !s.Has(fps[1]) || !s.Has(fps[2]) {
+		t.Error("sweep removed records that fit under the cap")
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+
+	// A hit bumps recency: bb (touched now) outlives cc (an hour old).
+	if _, err := s.Get(fps[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMaxBytes(112); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(fps[2]) {
+		t.Error("stale record outlived the record a Get just touched")
+	}
+	if !s.Has(fps[1]) {
+		t.Error("just-read record was evicted")
+	}
+	if st := s.Stats(); st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+}
+
+// TestStoreEvictionOnPut pins the steady-state path: with a cap set,
+// every put sweeps, so the store never stays over the limit.
+func TestStoreEvictionOnPut(t *testing.T) {
+	s := testStore(t)
+	if err := s.SetMaxBytes(3 * 112); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 100)
+	for i := 0; i < 8; i++ {
+		fp := fmt.Sprintf("%02d00000000000000", i)
+		if err := s.Put(fp, payload); err != nil {
+			t.Fatal(err)
+		}
+		age(t, s, fp, time.Duration(8-i)*time.Minute)
+	}
+	fps, err := s.Fingerprints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) > 3 {
+		t.Errorf("store holds %d records, cap allows 3: %v", len(fps), fps)
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Error("no evictions counted")
+	}
+	// Lifting the cap stops the sweeps.
+	if err := s.SetMaxBytes(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("ff00000000000000", payload); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.Fingerprints()
+	if len(after) != len(fps)+1 {
+		t.Errorf("uncapped put still evicted: %d -> %d records", len(fps), len(after))
+	}
 }
