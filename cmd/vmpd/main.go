@@ -153,6 +153,7 @@ func main() {
 	// to the hard stop.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	//vmplint:allow leakcheck process-lifetime second-signal watcher; it dies with the process
 	go func() {
 		<-sigCh
 		log.Warn("second signal, exiting now")

@@ -301,6 +301,8 @@ func (b *Bus) Utilization() float64 {
 // the check window; an abort terminates the transaction early. The
 // requester's own monitor action table is updated as a side effect of a
 // successful consistency-related transaction.
+//
+//vmplint:hotpath
 func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 	b.sem.Acquire(p)
 	defer b.sem.Release()
@@ -320,7 +322,7 @@ func (b *Bus) Do(p *sim.Process, tx Transaction) Result {
 				res.SharedSeen = true
 			}
 			if r.Interrupt {
-				b.intrBuf = append(b.intrBuf, s)
+				b.intrBuf = append(b.intrBuf, s) //vmplint:allow hotalloc reused scratch buffer reaches snooper-count capacity once; the bus/transaction micro pins 0 allocs/op
 			}
 		}
 		for _, s := range b.intrBuf {

@@ -307,6 +307,8 @@ func (h *Hierarchy) segMask(s int) uint64 {
 }
 
 // charge books occupancy time against a segment and the requester.
+//
+//vmplint:hotpath
 func (h *Hierarchy) charge(seg *segment, requester int, d sim.Time) {
 	seg.busy.Add(int64(d))
 	h.busy.Add(int64(d))
@@ -318,6 +320,8 @@ func (h *Hierarchy) charge(seg *segment, requester int, d sim.Time) {
 // emit sends one trace event; seg is the 1-based segment tag carried
 // in the event's ASID byte (0 is reserved so single-bus streams, which
 // always carry 0 there, keep their historical encoding).
+//
+//vmplint:hotpath
 func (h *Hierarchy) emit(kind obs.Kind, tx Transaction, dur sim.Time, seg int, fl uint8) {
 	if h.sink == nil {
 		return
@@ -336,6 +340,8 @@ func (h *Hierarchy) emit(kind obs.Kind, tx Transaction, dur sim.Time, seg int, f
 // segment the inclusion filter implicates, and the transaction itself
 // (transfer timing, table update, fault injection, observer) runs on
 // the home segment with the merged remote reactions folded in.
+//
+//vmplint:hotpath
 func (h *Hierarchy) Do(p *sim.Process, tx Transaction) Result {
 	home := h.topo.SegmentOf(tx.Requester)
 	if !tx.Op.ConsistencyRelated() && tx.Op != WriteActionTable {
@@ -376,6 +382,8 @@ func (h *Hierarchy) Do(p *sim.Process, tx Transaction) Result {
 // segment is acquired, probed for one check/update window, and
 // released before the next, so a segment semaphore is never held while
 // waiting on anything but its own queue.
+//
+//vmplint:hotpath
 func (h *Hierarchy) crossLink(p *sim.Process, tx Transaction, mask uint64) Result {
 	var res Result
 	h.link.Acquire(p)
@@ -416,7 +424,7 @@ func (h *Hierarchy) crossLink(p *sim.Process, tx Transaction, mask uint64) Resul
 				res.SharedSeen = true
 			}
 			if r.Interrupt {
-				seg.intrBuf = append(seg.intrBuf, sn)
+				seg.intrBuf = append(seg.intrBuf, sn) //vmplint:allow hotalloc reused per-segment scratch reaches snooper-count capacity once; the interconnect/cross-link micro pins 0 allocs/op
 			}
 		}
 		for _, sn := range seg.intrBuf {
@@ -436,6 +444,8 @@ func (h *Hierarchy) crossLink(p *sim.Process, tx Transaction, mask uint64) Resul
 // update, counters, tracing and the observer — the reference Bus.Do
 // semantics with the already-gathered remote reactions folded into the
 // abort decision.
+//
+//vmplint:hotpath
 func (h *Hierarchy) commit(p *sim.Process, tx Transaction, home int, res Result) Result {
 	seg := h.segs[home]
 	seg.sem.Acquire(p)
@@ -452,7 +462,7 @@ func (h *Hierarchy) commit(p *sim.Process, tx Transaction, home int, res Result)
 				res.SharedSeen = true
 			}
 			if r.Interrupt {
-				seg.intrBuf = append(seg.intrBuf, sn)
+				seg.intrBuf = append(seg.intrBuf, sn) //vmplint:allow hotalloc reused per-segment scratch reaches snooper-count capacity once; the interconnect/local-hit micro pins 0 allocs/op
 			}
 		}
 		for _, sn := range seg.intrBuf {

@@ -252,6 +252,8 @@ func (c *Cache) row(vpage uint32) int { return int(vpage) & (c.cfg.Rows - 1) }
 // Lookup performs one reference. On Hit with a write access, the slot's
 // Modified bit is set, as the hardware would. The returned SlotID is the
 // matching slot for Hit/WriteMiss/ProtFault and invalid (-1) for Miss.
+//
+//vmplint:hotpath
 func (c *Cache) Lookup(asid uint8, vaddr uint32, acc Access) (SlotID, Result) {
 	vpage := c.VPage(vaddr)
 	row := c.row(vpage)
@@ -283,6 +285,8 @@ func (c *Cache) Lookup(asid uint8, vaddr uint32, acc Access) (SlotID, Result) {
 }
 
 // permitted applies the protection flags to an access.
+//
+//vmplint:hotpath
 func (c *Cache) permitted(f Flags, acc Access) bool {
 	if acc.Super {
 		// Supervisor reads are always allowed; writes need SupWrite.
@@ -297,6 +301,8 @@ func (c *Cache) permitted(f Flags, acc Access) bool {
 // SuggestVictim returns the hardware's suggested replacement slot for a
 // fill of vaddr: an invalid slot in the row if one exists, otherwise the
 // least recently used slot.
+//
+//vmplint:hotpath
 func (c *Cache) SuggestVictim(vaddr uint32) SlotID {
 	row := c.row(c.VPage(vaddr))
 	base := row * c.cfg.Assoc

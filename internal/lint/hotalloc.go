@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc forbids allocating constructs in functions tagged
+// //vmplint:hotpath. The tagged set — engine step, cache lookup,
+// monitor react, bus arbitrate/hierarchy frame path, telemetry update —
+// is exactly the set the BENCH micro gate requires to run at 0
+// allocs/op; this analyzer turns that runtime regression check into a
+// compile-time fact.
+//
+// Flagged constructs: function literals (closure capture), goroutine
+// launches, make/new, map and slice literals, &composite literals,
+// string concatenation, append (growth), and concrete-to-interface
+// conversions of non-pointer-shaped values (boxing). Statements that
+// can only execute en route to a panic are cold by definition and are
+// skipped, so `panic(fmt.Sprintf(...))` guards stay legal.
+//
+// A site that is genuinely amortized-zero (a free list refilling in
+// chunks, a capacity-reserved scratch buffer) carries a
+// //vmplint:allow hotalloc suppression whose reason names the BENCH
+// micro that pins it.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions tagged //vmplint:hotpath must not allocate: no closures, goroutines, " +
+		"make/new, map/slice literals, &literals, string concatenation, append growth, or " +
+		"interface boxing (panic-only paths excluded)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, fd := range packageFuncs(pass.Files) {
+		if !funcDirectives(fd)["hotpath"] {
+			continue
+		}
+		checkHotFunc(pass, fd)
+	}
+}
+
+// coldStmts returns the statements that can only execute on the way
+// into a panic: every statement of a CFG block terminated by a direct
+// panic call.
+func coldStmts(fd *ast.FuncDecl) map[ast.Stmt]bool {
+	cold := make(map[ast.Stmt]bool)
+	g := buildCFG(fd.Body)
+	for _, b := range g.blocks {
+		if !b.exit || b.exitStmt != nil || len(b.stmts) == 0 {
+			continue
+		}
+		if es, ok := b.stmts[len(b.stmts)-1].(*ast.ExprStmt); ok && isPanicCall(es.X) {
+			for _, s := range b.stmts {
+				cold[s] = true
+			}
+		}
+	}
+	return cold
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	cold := coldStmts(fd)
+	name := fd.Name.Name
+
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		// Skip panic-only statements (and everything under them).
+		if s, ok := n.(ast.Stmt); ok && cold[s] {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(nn.Pos(), "closure allocates on hot path %s (function literals capture and escape)", name)
+			return false
+
+		case *ast.GoStmt:
+			pass.Reportf(nn.Pos(), "goroutine launch allocates on hot path %s", name)
+
+		case *ast.CallExpr:
+			checkHotCall(pass, nn, name)
+
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[nn]
+			if !ok {
+				break
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(nn.Pos(), "map literal allocates on hot path %s", name)
+			case *types.Slice:
+				pass.Reportf(nn.Pos(), "slice literal allocates on hot path %s", name)
+			}
+
+		case *ast.UnaryExpr:
+			if nn.Op == token.AND {
+				if _, ok := unparen(nn.X).(*ast.CompositeLit); ok {
+					pass.Reportf(nn.Pos(), "&composite literal allocates on hot path %s", name)
+				}
+			}
+
+		case *ast.BinaryExpr:
+			if nn.Op == token.ADD {
+				if tv, ok := pass.Info.Types[nn]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(nn.Pos(), "string concatenation allocates on hot path %s", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins and interface boxing at call
+// boundaries.
+func checkHotCall(pass *Pass, call *ast.CallExpr, name string) {
+	// Builtins: append / make / new.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array on hot path %s", name)
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on hot path %s", name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on hot path %s", name)
+			}
+			return
+		}
+	}
+
+	// Explicit conversion to an interface type: T(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxesOnConversion(pass.Info, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface %s boxes its operand on hot path %s", typeString(tv.Type), name)
+		}
+		return
+	}
+
+	// Implicit conversions at argument positions of interface-typed
+	// parameters (including variadic ...any).
+	sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // []T passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxesOnConversion(pass.Info, pt, arg) {
+			pass.Reportf(arg.Pos(), "passing %s as interface %s boxes it on hot path %s",
+				typeString(pass.Info.Types[arg].Type), typeString(pt), name)
+		}
+	}
+}
+
+// boxesOnConversion reports whether assigning arg to a destination of
+// type dst performs an allocating interface conversion: dst is an
+// interface, arg is a concrete value that is not pointer-shaped
+// (pointers, chans, maps, funcs and unsafe.Pointer fit the interface
+// word without boxing) and not the predeclared nil.
+func boxesOnConversion(info *types.Info, dst types.Type, arg ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	if isNilIdent(arg) {
+		return false
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil || types.IsInterface(tv.Type) {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	return true
+}

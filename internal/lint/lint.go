@@ -112,9 +112,14 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// All returns the full analyzer suite in its canonical order.
+// All returns the full analyzer suite in its canonical order: the
+// five syntax-local passes from v1, then the five dataflow analyzers
+// from v2.
 func All() []*Analyzer {
-	return []*Analyzer{SimClock, MapOrder, NilSink, AmbientState, CanonJSON}
+	return []*Analyzer{
+		SimClock, MapOrder, NilSink, AmbientState, CanonJSON,
+		DetSrc, LockDisc, AtomicCheck, HotAlloc, LeakCheck,
+	}
 }
 
 // ByName resolves a comma-separated rule list against the suite.

@@ -32,7 +32,7 @@ func testLoader(t *testing.T) *Loader {
 	t.Helper()
 	root := repoRoot(t)
 	loaderOnce.Do(func() {
-		loader, loaderErr = NewLoader(root, "./...", "fmt", "math/rand", "os", "sort", "time")
+		loader, loaderErr = NewLoader(root, "./...", "context", "fmt", "math/rand", "os", "sort", "sync", "sync/atomic", "time")
 	})
 	if loaderErr != nil {
 		t.Fatalf("loading module: %v", loaderErr)
@@ -161,6 +161,46 @@ func TestCanonJSON(t *testing.T) {
 	fs := runFixture(t, "canonjson", "vmp/internal/scenario", CanonJSON)
 	if got := suppressedOnly(fs); len(got) != 1 {
 		t.Errorf("want 1 suppressed finding, got %v", got)
+	}
+}
+
+func TestLockDisc(t *testing.T) {
+	fs := runFixture(t, "lockdisc", "vmp/internal/fixture/lockdisc", LockDisc)
+	got := suppressedOnly(fs)
+	if len(got) != 1 || !strings.Contains(got[0].Reason, "ownership transfers") {
+		t.Errorf("want 1 suppressed finding with the handoff reason, got %v", got)
+	}
+}
+
+func TestHotAlloc(t *testing.T) {
+	fs := runFixture(t, "hotalloc", "vmp/internal/fixture/hotalloc", HotAlloc)
+	got := suppressedOnly(fs)
+	if len(got) != 1 || !strings.Contains(got[0].Reason, "amortized zero-alloc") {
+		t.Errorf("want 1 suppressed finding with the free-list reason, got %v", got)
+	}
+}
+
+func TestAtomicCheck(t *testing.T) {
+	fs := runFixture(t, "atomiccheck", "vmp/internal/fixture/atomiccheck", AtomicCheck)
+	got := suppressedOnly(fs)
+	if len(got) != 1 || !strings.Contains(got[0].Reason, "torn reads") {
+		t.Errorf("want 1 suppressed finding with the snapshot reason, got %v", got)
+	}
+}
+
+func TestLeakCheck(t *testing.T) {
+	fs := runFixture(t, "leakcheck", "vmp/internal/fixture/leakcheck", LeakCheck)
+	got := suppressedOnly(fs)
+	if len(got) != 1 || !strings.Contains(got[0].Reason, "process-lifetime") {
+		t.Errorf("want 1 suppressed finding with the watcher reason, got %v", got)
+	}
+}
+
+func TestDetSrc(t *testing.T) {
+	fs := runFixture(t, "detsrc", "vmp/internal/fixture/detsrc", DetSrc)
+	got := suppressedOnly(fs)
+	if len(got) != 1 || !strings.Contains(got[0].Reason, "build stamp") {
+		t.Errorf("want 1 suppressed finding with the build-stamp reason, got %v", got)
 	}
 }
 

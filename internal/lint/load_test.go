@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoaderModule loads the vendored testdata/mod module end to end:
+// NewLoader must list it with export data from its own root, Load must
+// typecheck both packages in dependency order, and the suite must find
+// exactly the one seeded leakcheck finding.
+func TestLoaderModule(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "internal", "lint", "testdata", "mod")
+	l, err := NewLoader(dir, "./...")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (lintprobe and lintprobe/inner)", len(pkgs))
+	}
+	paths := map[string]bool{}
+	for _, p := range pkgs {
+		paths[p.Path] = true
+		if p.Pkg == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", p.Path)
+		}
+	}
+	if !paths["lintprobe"] || !paths["lintprobe/inner"] {
+		t.Fatalf("loaded paths %v, want lintprobe and lintprobe/inner", paths)
+	}
+
+	fs := Unsuppressed(Run(pkgs, []*Analyzer{LeakCheck}))
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings, want the 1 seeded leak: %v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.Rule != "leakcheck" || !strings.HasSuffix(f.Pos.Filename, "probe.go") ||
+		!strings.Contains(f.Message, "not analyzable") {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestLoaderBadPattern pins the error path: listing a pattern that
+// matches nothing must fail at construction, not at Load.
+func TestLoaderBadPattern(t *testing.T) {
+	dir := filepath.Join(repoRoot(t), "internal", "lint", "testdata", "mod")
+	if _, err := NewLoader(dir, "./nosuchdir/..."); err == nil {
+		t.Error("NewLoader(./nosuchdir/...) succeeded, want error")
+	}
+}

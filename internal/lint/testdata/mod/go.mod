@@ -1,0 +1,3 @@
+module lintprobe
+
+go 1.22

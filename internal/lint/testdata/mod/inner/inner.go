@@ -1,0 +1,7 @@
+// Package inner exists so the loader test covers in-module imports:
+// typechecking lintprobe needs inner's export data, which `go list
+// -export -deps` must have produced.
+package inner
+
+// Answer is the canonical constant-returning dependency.
+func Answer() int { return 42 }

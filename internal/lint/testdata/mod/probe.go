@@ -1,0 +1,25 @@
+// Package lintprobe is a standalone module the loader tests load end
+// to end: `go list -export` must resolve its file lists and stdlib
+// export data from inside this directory, independent of the vmp
+// module. It carries exactly one unsuppressed leakcheck finding.
+package lintprobe
+
+import (
+	"sync"
+
+	"lintprobe/inner"
+)
+
+// Probe spawns one joined goroutine and one fire-and-forget goroutine;
+// the latter is the finding the loader test expects.
+func Probe(work func()) int {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	go work()
+	wg.Wait()
+	return inner.Answer()
+}

@@ -1,0 +1,30 @@
+// Negative cases for atomiccheck: plain fields stay plain, typed
+// atomics are safe by construction, and init/constructors may
+// initialize before publication.
+package atomiccheck
+
+import "sync/atomic"
+
+type gauge struct {
+	// level is only ever accessed atomically; value is never atomic.
+	level atomic.Int64
+	value int64
+}
+
+func (g *gauge) Set(v int64)  { g.level.Store(v) }
+func (g *gauge) Get() int64   { return g.level.Load() }
+func (g *gauge) Plain() int64 { return g.value } // never atomic: fine
+
+// newStats initializes atomic fields plainly before the value escapes.
+func newStats(seed uint64) *stats {
+	s := &stats{}
+	s.hits = seed
+	s.cold = 0
+	return s
+}
+
+var shared stats
+
+func init() {
+	shared.hits = 1 // pre-publication: fine
+}

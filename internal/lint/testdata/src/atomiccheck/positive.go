@@ -1,0 +1,36 @@
+// Fixture for the atomiccheck analyzer: fields accessed both through
+// sync/atomic and plainly.
+package atomiccheck
+
+import "sync/atomic"
+
+type stats struct {
+	hits uint64
+	cold uint64
+}
+
+// Inc and Read access hits atomically — the discipline the rest of the
+// package must follow.
+func (s *stats) Inc()         { atomic.AddUint64(&s.hits, 1) }
+func (s *stats) Read() uint64 { return atomic.LoadUint64(&s.hits) }
+
+// Snapshot reads the same field plainly: a data race.
+func (s *stats) Snapshot() uint64 {
+	return s.hits // want "field stats.hits is accessed with sync/atomic elsewhere in this package but read/written plainly"
+}
+
+// Reset writes it plainly: also a race.
+func (s *stats) Reset() {
+	s.hits = 0 // want "field stats.hits is accessed with sync/atomic elsewhere in this package but read/written plainly"
+}
+
+// bump is a CAS-helper: it forwards its pointer parameter to
+// sync/atomic, so fields passed to it count as atomic too.
+func bump(p *uint64) { atomic.AddUint64(p, 1) }
+
+func (s *stats) IncCold() { bump(&s.cold) }
+
+// PeekCold reads a helper-atomic field plainly.
+func (s *stats) PeekCold() uint64 {
+	return s.cold // want "field stats.cold is accessed with sync/atomic elsewhere in this package but read/written plainly"
+}

@@ -1,0 +1,9 @@
+// Suppressed case for atomiccheck: a deliberately racy statistics
+// snapshot, annotated with its reason.
+package atomiccheck
+
+// Approx reads hits without synchronization for a monitoring surface
+// that tolerates staleness.
+func (s *stats) Approx() uint64 {
+	return s.hits //vmplint:allow atomiccheck monitoring snapshot tolerates torn reads by design
+}

@@ -1,0 +1,47 @@
+// Fixture for the detsrc taint analyzer: nondeterministic values and
+// map-iteration order reaching a declared determinism sink.
+package detsrc
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// record stands in for the fingerprint/store-key surfaces: its
+// arguments must be deterministic.
+//
+//vmplint:detsink
+func record(key string) { _ = key }
+
+// Wall sends a wall-clock reading into the sink.
+func Wall() {
+	t := time.Now().String()
+	record(t) // want "argument to detsink record derives from a nondeterministic value"
+}
+
+// Env concatenates an environment read into the key.
+func Env() {
+	v := os.Getenv("VMP_TAG")
+	record("k:" + v) // want "argument to detsink record derives from a nondeterministic value"
+}
+
+// Unsorted serializes map keys in iteration order.
+func Unsorted(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	record(fmt.Sprint(keys)) // want "argument to detsink record derives from map-iteration order"
+}
+
+// stamp launders the clock through a helper: the package-local summary
+// carries the taint back to the caller.
+func stamp() string {
+	return time.Now().Format(time.RFC3339)
+}
+
+// Indirect taints through the helper's return value.
+func Indirect() {
+	record(stamp()) // want "argument to detsink record derives from a nondeterministic value"
+}

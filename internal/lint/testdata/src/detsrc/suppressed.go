@@ -1,0 +1,11 @@
+// Suppressed case for detsrc: a human-facing timestamp deliberately
+// excluded from the reproducibility contract.
+package detsrc
+
+import "time"
+
+// Legacy records a wall-clock build stamp for operators; the reason
+// documents why the nondeterminism is acceptable here.
+func Legacy() {
+	record(time.Now().Format(time.RFC3339)) //vmplint:allow detsrc operator-facing build stamp, excluded from fingerprints and diffs
+}

@@ -1,0 +1,42 @@
+// Negative cases for hotalloc: allocation-free hot paths, cold panic
+// guards, pointer-shaped interface values, and untagged functions.
+package hotalloc
+
+import "fmt"
+
+//vmplint:hotpath
+func ValueLit(a, b int) payload {
+	return payload{a: a, b: b} // value struct literal: stack, no allocation
+}
+
+//vmplint:hotpath
+func Guarded(d int) int {
+	if d < 0 {
+		// Cold: this path only panics, so the formatting allocation is
+		// irrelevant to the hot path.
+		panic(fmt.Sprintf("negative delay %d", d))
+	}
+	return d * 2
+}
+
+//vmplint:hotpath
+func PointerBox(p *payload) {
+	eat(p) // pointers fit the interface word: no boxing allocation
+}
+
+//vmplint:hotpath
+func Index(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i]
+}
+
+// Untagged allocates freely: hotalloc only applies to tagged paths.
+func Untagged(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Fixture for the hotalloc analyzer: allocating constructs inside
+// //vmplint:hotpath functions.
+package hotalloc
+
+// eat is an interface-typed sink used to exercise boxing at call
+// boundaries.
+func eat(v any) { _ = v }
+
+type payload struct{ a, b int }
+
+//vmplint:hotpath
+func Closure(xs []int) func() int {
+	return func() int { return len(xs) } // want "closure allocates on hot path Closure"
+}
+
+//vmplint:hotpath
+func Spawn(done chan struct{}) {
+	go send(done) // want "goroutine launch allocates on hot path Spawn"
+}
+
+func send(done chan struct{}) { done <- struct{}{} }
+
+//vmplint:hotpath
+func Make(n int) []int {
+	return make([]int, n) // want "make allocates on hot path Make"
+}
+
+//vmplint:hotpath
+func New() *payload {
+	return new(payload) // want "new allocates on hot path New"
+}
+
+//vmplint:hotpath
+func Append(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow its backing array on hot path Append"
+}
+
+//vmplint:hotpath
+func MapLit() map[string]int {
+	return map[string]int{"a": 1} // want "map literal allocates on hot path MapLit"
+}
+
+//vmplint:hotpath
+func SliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates on hot path SliceLit"
+}
+
+//vmplint:hotpath
+func AddrLit() *payload {
+	return &payload{a: 1} // want "&composite literal allocates on hot path AddrLit"
+}
+
+//vmplint:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates on hot path Concat"
+}
+
+//vmplint:hotpath
+func Box(p payload) {
+	eat(p) // want "passing hotalloc.payload as interface any boxes it on hot path Box"
+}
+
+//vmplint:hotpath
+func ExplicitBox(p payload) any {
+	return any(p) // want "conversion to interface any boxes its operand on hot path ExplicitBox"
+}

@@ -1,0 +1,11 @@
+// Suppressed case for hotalloc: an amortized-zero free-list refill,
+// the one legitimate shape of allocation on a hot path.
+package hotalloc
+
+//vmplint:hotpath
+func Refill(free []payload) []payload {
+	if len(free) == 0 {
+		free = make([]payload, 64) //vmplint:allow hotalloc free-list chunk refill is amortized zero-alloc, pinned by the BENCH micro
+	}
+	return free
+}

@@ -1,0 +1,72 @@
+// Negative cases for leakcheck: each of the four recognized join
+// shapes.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+// Pool joins workers through a WaitGroup.
+func Pool(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j()
+		}()
+	}
+	wg.Wait()
+}
+
+// Notify closes a done channel on all exits.
+func Notify(work func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// Handoff sends its result as the final statement; the spawner joins
+// by receiving.
+func Handoff(work func() error) chan error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- work() }()
+	return errCh
+}
+
+// runner blocks on ctx cancellation in a select: the ctx-done shape.
+func runner(ctx context.Context, ticks chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-ticks:
+			_ = t
+		}
+	}
+}
+
+// Serve spawns the same-package runner; leakcheck resolves its body
+// and finds the Done()-receive.
+func Serve(ctx context.Context, ticks chan int) {
+	go runner(ctx, ticks)
+}
+
+// Watchdog joins through the spawner: the goroutine receives from a
+// channel this function defer-closes on every exit.
+func Watchdog(stop <-chan struct{}, poke func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			poke()
+		case <-done:
+		}
+	}()
+	defer close(done)
+	<-stop
+}

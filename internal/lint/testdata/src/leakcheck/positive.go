@@ -1,0 +1,29 @@
+// Fixture for the leakcheck analyzer: goroutines with no join signal.
+package leakcheck
+
+// Drain consumes a channel forever with nothing observing its exit.
+func Drain(ch chan int) {
+	go func() { // want "goroutine has no join signal"
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// FireAndForget launches an opaque function value: the body cannot be
+// analyzed, so the join cannot be proven.
+func FireAndForget(work func()) {
+	go work() // want "goroutine target is not analyzable"
+}
+
+// spin is a package function with no join signal of its own.
+func spin(n *int) {
+	for {
+		*n++
+	}
+}
+
+// SpawnSpin resolves spin's body and finds no join signal there either.
+func SpawnSpin(n *int) {
+	go spin(n) // want "goroutine has no join signal"
+}

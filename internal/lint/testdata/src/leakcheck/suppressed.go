@@ -1,0 +1,13 @@
+// Suppressed case for leakcheck: a process-lifetime watcher that by
+// design dies with the process.
+package leakcheck
+
+// Watch mirrors vmpd's second-signal watcher: it blocks on a signal
+// channel for the life of the process and needs no join.
+func Watch(sig chan struct{}, cancel func()) {
+	//vmplint:allow leakcheck process-lifetime signal watcher, exits with the process
+	go func() {
+		<-sig
+		cancel()
+	}()
+}

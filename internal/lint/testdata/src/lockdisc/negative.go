@@ -1,0 +1,93 @@
+// Negative cases for lockdisc: correctly disciplined locking that must
+// produce no findings.
+package lockdisc
+
+import "sync"
+
+// Get releases through defer.
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Branchy releases explicitly on every path.
+func (c *counter) Branchy(x bool) int {
+	c.mu.Lock()
+	if x {
+		c.mu.Unlock()
+		return 0
+	}
+	c.mu.Unlock()
+	return 1
+}
+
+// LoopAdd locks and unlocks inside a loop body.
+func (c *counter) LoopAdd(n int) {
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// duo is independent of pair so its (consistent) ordering does not
+// interact with the AB/BA cycle fixture.
+type duo struct {
+	c, d sync.Mutex
+}
+
+// First and Second both order c before d: a consistent order is not a
+// cycle.
+func (u *duo) First() {
+	u.c.Lock()
+	u.d.Lock()
+	u.d.Unlock()
+	u.c.Unlock()
+}
+
+func (u *duo) Second() {
+	u.c.Lock()
+	u.d.Lock()
+	u.d.Unlock()
+	u.c.Unlock()
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+// Read uses the read side of an RWMutex with defer.
+func (t *table) Read(k int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Write switches between paths but stays balanced.
+func (t *table) Write(k, v int, really bool) {
+	t.mu.Lock()
+	switch {
+	case really:
+		t.m[k] = v
+	default:
+	}
+	t.mu.Unlock()
+}
+
+// FlagOK sets and clears the busy bit on the straight path.
+func FlagOK(e *dirEntry) {
+	e.busy = true
+	e.busy = false
+}
+
+// FlagSpin waits for the bit, takes it, and always clears it — the
+// shape of the bus hierarchy's frame path.
+func FlagSpin(e *dirEntry, work func()) {
+	for e.busy {
+	}
+	e.busy = true
+	work()
+	e.busy = false
+}

@@ -1,0 +1,91 @@
+// Fixture for the lockdisc analyzer: release-on-all-paths, reentrant
+// acquisition (direct and through a package call), acquisition-order
+// cycles, the declared rank table, and the dirEntry.busy flag lock.
+package lockdisc
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Leaky forgets the unlock on the early-return path.
+func (c *counter) Leaky(stop bool) int {
+	c.mu.Lock() // want "lockdisc.counter.mu is not released on every path out of Leaky"
+	if stop {
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Reentrant locks a mutex it already holds.
+func (c *counter) Reentrant() {
+	c.mu.Lock()
+	c.mu.Lock() // want "acquired while already held on every path here"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// bump is a correctly balanced helper...
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// ReentrantCall ...that deadlocks when called under the same lock.
+func (c *counter) ReentrantCall() {
+	c.mu.Lock()
+	c.bump() // want "calls bump, which acquires lockdisc.counter.mu, while lockdisc.counter.mu is already held"
+	c.mu.Unlock()
+}
+
+type pair struct {
+	a, b sync.Mutex
+}
+
+// AB orders a before b; BA orders b before a. Together they form a
+// deadlock cycle, so both acquisition sites are reported.
+func (p *pair) AB() {
+	p.a.Lock()
+	p.b.Lock() // want "lock order cycle"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) BA() {
+	p.b.Lock()
+	p.a.Lock() // want "lock order cycle"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// rankLow/rankHigh carry declared ranks (see lockRank): rankLow.mu
+// must be acquired before rankHigh.mu.
+type rankLow struct{ mu sync.Mutex }
+
+type rankHigh struct{ mu sync.Mutex }
+
+// RankViolation acquires the low-rank lock under the high-rank one.
+func RankViolation(l *rankLow, h *rankHigh) {
+	h.mu.Lock()
+	l.mu.Lock() // want "violates the declared lock order"
+	l.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// dirEntry mirrors the bus directory's per-frame busy bit, which
+// lockdisc models as a flag lock.
+type dirEntry struct{ busy bool }
+
+// FlagLeak aborts without clearing the busy bit.
+func FlagLeak(e *dirEntry, abort bool) {
+	e.busy = true // want "lockdisc.dirEntry.busy is not released on every path out of FlagLeak"
+	if abort {
+		return
+	}
+	e.busy = false
+}

@@ -1,0 +1,11 @@
+// Suppressed case for lockdisc: a deliberate ownership handoff,
+// annotated with the mandatory reason.
+package lockdisc
+
+// Handoff returns holding the lock: the caller owns it and must call
+// counter.mu.Unlock when done. Lock-discipline violations like this
+// need an explicit, reasoned suppression.
+func Handoff(c *counter) *counter {
+	c.mu.Lock() //vmplint:allow lockdisc ownership transfers to the caller, which must unlock
+	return c
+}

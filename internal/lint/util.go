@@ -94,6 +94,12 @@ func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
 	return fn.Type().(*types.Signature).Recv() == nil
 }
 
+// typeString prints a type with package-name (not import-path)
+// qualification, matching how diagnostics read in editors.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
 // enclosingFunc returns the innermost function body containing the
 // stacked node, and the index of that function node in the stack.
 func enclosingFunc(stack []ast.Node) (body *ast.BlockStmt, idx int) {

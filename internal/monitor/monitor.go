@@ -178,6 +178,8 @@ func (m *Monitor) Stats() Stats {
 func (m *Monitor) frame(paddr uint32) int { return int(paddr) / m.pageSize }
 
 // Action returns the table entry for the frame containing paddr.
+//
+//vmplint:hotpath
 func (m *Monitor) Action(paddr uint32) Action {
 	f := m.frame(paddr)
 	if f < 0 || f >= m.frames {
@@ -202,6 +204,8 @@ func (m *Monitor) SetAction(paddr uint32, a Action) {
 
 // Check implements bus.Snooper: the consistency-check window decision,
 // delegated to the protocol's reaction table.
+//
+//vmplint:hotpath
 func (m *Monitor) Check(tx bus.Transaction) protocol.Reaction {
 	m.ctr.checks.Inc()
 	r := m.proto.React(m.Action(tx.PAddr), tx.Op, tx.Requester == m.boardID)
@@ -216,6 +220,8 @@ func (m *Monitor) Check(tx bus.Transaction) protocol.Reaction {
 // duplicated; duplicates are harmless to a correct service routine
 // (interrupt handling is idempotent and state-based) but fill the FIFO
 // toward overflow.
+//
+//vmplint:hotpath
 func (m *Monitor) Post(tx bus.Transaction) {
 	w := Word{Op: tx.Op, PAddr: tx.PAddr}
 	m.push(w)
@@ -227,6 +233,8 @@ func (m *Monitor) Post(tx bus.Transaction) {
 }
 
 // push enqueues one word or records overflow.
+//
+//vmplint:hotpath
 func (m *Monitor) push(w Word) {
 	if m.n >= m.cap {
 		m.dropped = true

@@ -45,6 +45,8 @@ type Counter struct {
 
 // Add increments the counter by n (no-op on a nil receiver; negative
 // deltas are ignored — counters only go up).
+//
+//vmplint:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil || n < 0 {
 		return
@@ -53,6 +55,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc adds one.
+//
+//vmplint:hotpath
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -74,6 +78,8 @@ type Gauge struct {
 }
 
 // Set stores the gauge value.
+//
+//vmplint:hotpath
 func (g *Gauge) Set(n int64) {
 	if g == nil {
 		return
@@ -82,6 +88,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adjusts the gauge by n (may be negative).
+//
+//vmplint:hotpath
 func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
@@ -122,6 +130,8 @@ var StorePutBuckets = []float64{
 }
 
 // Observe records one value.
+//
+//vmplint:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -142,6 +152,8 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the elapsed host time since start, in seconds.
 // It shares Observe's nil tolerance and must be guarded like it.
+//
+//vmplint:hotpath
 func (h *Histogram) ObserveSince(start time.Time) {
 	if h == nil {
 		return

@@ -7,6 +7,12 @@
 // before building the tools (see .github/workflows/ci.yml); bumping a
 // tool is a one-line change here instead of an @version literal buried
 // in the workflow.
+//
+// Pins audited 2026-08: staticcheck v0.6.1 and x/vuln v1.1.4 remain
+// the newest releases known compatible with the go 1.24 toolchain CI
+// uses. Check https://staticcheck.dev/changes and the x/vuln tags when
+// bumping; both must keep accepting the root module's go 1.22
+// directive.
 module vmp/tools
 
 go 1.24
